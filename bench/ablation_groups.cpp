@@ -1,0 +1,115 @@
+// Ablation A6 — object grouping granularity ("virtual objects", §II-A).
+//
+// The paper treats a group of objects as one virtual object whose accesses
+// are summarized together. Granularity is a real trade-off: one group
+// forces a single compromise placement for everything, while many groups
+// let regionally-popular content live near its readers — at the price of
+// more summaries shipped and more migration traffic. This harness sweeps
+// the group count on a workload where every object has a home region whose
+// clients issue 80% of its accesses.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "netcoord/embedding.h"
+#include "store/kvstore.h"
+#include "topology/planetlab_model.h"
+
+using namespace geored;
+
+int main() {
+  bench::print_header(
+      "Ablation: object-group granularity vs read latency and overhead",
+      "120-node topology, 15 DCs, n=3 r=1 w=2, 600 objects with regional affinity");
+
+  topo::PlanetLabModelConfig topo_config;
+  topo_config.node_count = 120;
+  const auto topology = topo::generate_planetlab_like(topo_config, 7);
+  const auto coords =
+      coord::run_rnp(topology, coord::RnpConfig{}, coord::GossipConfig{}, 7);
+  std::vector<place::CandidateInfo> candidates;
+  for (std::size_t i = 0; i < 15; ++i) {
+    candidates.push_back({static_cast<topo::NodeId>(i), coords[i].position,
+                          std::numeric_limits<double>::infinity()});
+  }
+  // Clients bucketed by macro-region: Americas / Europe / Asia-Pacific.
+  std::vector<std::vector<topo::NodeId>> regions(3);
+  for (std::size_t i = 15; i < topology.size(); ++i) {
+    const auto& name = topology.region_names()[topology.node(i).region];
+    std::size_t bucket = 2;
+    if (name.starts_with("na-") || name == "south-america") bucket = 0;
+    if (name.starts_with("eu-")) bucket = 1;
+    regions[bucket].push_back(static_cast<topo::NodeId>(i));
+  }
+  std::printf("clients per macro-region: %zu / %zu / %zu\n\n", regions[0].size(),
+              regions[1].size(), regions[2].size());
+
+  constexpr std::size_t kObjects = 600;  // object i's home region = i % 3
+
+  std::printf("%-10s %14s %16s %18s %16s\n", "groups", "get mean", "summary bytes",
+              "migration bytes", "stale reads");
+  double delay_one_group = 0.0, delay_many_groups = 0.0;
+  std::uint64_t summary_one = 0, summary_many = 0;
+  for (const std::size_t groups : {1ul, 3ul, 12ul, 48ul}) {
+    sim::Simulator simulator;
+    sim::Network network(simulator, topology);
+    store::StoreConfig config;
+    config.quorum = {3, 1, 2};
+    config.groups = groups;
+    config.manager.summarizer.max_clusters = 4;
+    config.manager.migration.min_relative_gain = 0.05;
+    store::ReplicatedKvStore kv(simulator, network, candidates, config, 3);
+
+    Rng rng(17);
+    // Seed all objects from their home region.
+    for (store::ObjectId id = 0; id < kObjects; ++id) {
+      const auto& home = regions[id % 3];
+      const auto client = home[rng.below(home.size())];
+      kv.put(client, coords[client].position, id, std::string(256, 'x'),
+             [](const store::PutResult&) {});
+    }
+    simulator.run();
+
+    std::uint64_t summary_bytes = 0;
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      for (int op = 0; op < 8000; ++op) {
+        // 80% of an object's accesses come from its home region.
+        const auto id = static_cast<store::ObjectId>(rng.below(kObjects));
+        const std::size_t bucket = rng.bernoulli(0.8)
+                                       ? id % 3
+                                       : static_cast<std::size_t>(rng.below(3));
+        const auto& pool = regions[bucket];
+        const auto client = pool[rng.below(pool.size())];
+        kv.get(client, coords[client].position, id, [](const store::GetResult&) {});
+      }
+      simulator.run();
+      for (const auto& report : kv.run_placement_epochs()) {
+        summary_bytes += report.summary_bytes;
+      }
+      simulator.run();
+    }
+
+    const auto& stats = network.stats();
+    const auto migration_bytes =
+        stats.bytes[static_cast<std::size_t>(sim::TrafficClass::kMigration)];
+    std::printf("%-10zu %12.1fms %16llu %18llu %16llu\n", groups, kv.get_latency().mean(),
+                static_cast<unsigned long long>(summary_bytes),
+                static_cast<unsigned long long>(migration_bytes),
+                static_cast<unsigned long long>(kv.stale_reads()));
+    if (groups == 1) {
+      delay_one_group = kv.get_latency().mean();
+      summary_one = summary_bytes;
+    }
+    if (groups == 48) {
+      delay_many_groups = kv.get_latency().mean();
+      summary_many = summary_bytes;
+    }
+  }
+
+  std::printf("\npaper-shape checks:\n");
+  bench::print_check("finer groups exploit regional affinity (lower read latency)",
+                     delay_many_groups < delay_one_group);
+  bench::print_check("finer groups ship proportionally more summaries",
+                     summary_many > 10 * summary_one);
+  return 0;
+}

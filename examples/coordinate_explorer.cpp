@@ -1,0 +1,92 @@
+// coordinate_explorer: network coordinate systems side by side.
+//
+// Embeds the same wide-area topology with Vivaldi, RNP and GNP, reports
+// their prediction accuracy, and then measures the property the paper
+// actually relies on (§III-A): "if a user node knows the coordinates of
+// replica locations, it can predict the closest replica with a high
+// accuracy although it has never accessed the replicas before."
+//
+// Build & run:  ./build/examples/coordinate_explorer
+#include <cstdio>
+
+#include "common/random.h"
+#include "netcoord/embedding.h"
+#include "topology/planetlab_model.h"
+
+using namespace geored;
+using coord::NetworkCoordinate;
+
+namespace {
+
+/// How often the coordinate-predicted closest of k random replicas is the
+/// truly closest one, and how many extra ms picking wrong costs on average.
+struct SelectionQuality {
+  double hit_rate = 0.0;
+  double mean_penalty_ms = 0.0;
+};
+
+SelectionQuality closest_replica_prediction(const topo::Topology& topology,
+                                            const std::vector<NetworkCoordinate>& coords,
+                                            std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::size_t hits = 0, trials = 0;
+  double penalty = 0.0;
+  for (int t = 0; t < 20000; ++t) {
+    const auto replicas = rng.sample_without_replacement(topology.size(), k + 1);
+    const auto client = static_cast<topo::NodeId>(replicas[k]);  // last one is the client
+    topo::NodeId predicted = 0, truly = 0;
+    double best_pred = 1e18, best_true = 1e18;
+    for (std::size_t r = 0; r < k; ++r) {
+      const auto node = static_cast<topo::NodeId>(replicas[r]);
+      const double est = predicted_rtt_ms(coords[client], coords[node]);
+      const double actual = topology.rtt_ms(client, node);
+      if (est < best_pred) {
+        best_pred = est;
+        predicted = node;
+      }
+      if (actual < best_true) {
+        best_true = actual;
+        truly = node;
+      }
+    }
+    ++trials;
+    hits += predicted == truly;
+    penalty += topology.rtt_ms(client, predicted) - best_true;
+  }
+  return {static_cast<double>(hits) / static_cast<double>(trials),
+          penalty / static_cast<double>(trials)};
+}
+
+}  // namespace
+
+int main() {
+  const auto topology = topo::generate_planetlab_like(topo::PlanetLabModelConfig{}, 42);
+  std::printf("embedding a %zu-node PlanetLab-like topology\n\n", topology.size());
+
+  struct Entry {
+    const char* name;
+    std::vector<NetworkCoordinate> coords;
+  };
+  std::vector<Entry> systems;
+  systems.push_back(
+      {"vivaldi", coord::run_vivaldi(topology, coord::VivaldiConfig{}, {}, 7)});
+  systems.push_back({"rnp", coord::run_rnp(topology, coord::RnpConfig{}, {}, 7)});
+  systems.push_back({"gnp", coord::run_gnp(topology, coord::GnpConfig{})});
+
+  std::printf("%-8s %14s %14s %20s %18s\n", "system", "abs-err p50", "abs-err p90",
+              "closest-of-3 hit", "wrong-pick cost");
+  for (const auto& entry : systems) {
+    const auto quality = coord::evaluate_embedding(topology, entry.coords);
+    const auto selection = closest_replica_prediction(topology, entry.coords, 3, 11);
+    std::printf("%-8s %11.2fms %11.2fms %19.1f%% %15.2fms\n", entry.name,
+                quality.absolute_error_ms.p50, quality.absolute_error_ms.p90,
+                100.0 * selection.hit_rate, selection.mean_penalty_ms);
+  }
+
+  std::printf(
+      "\nThe paper's takeaway: with RNP a client that has never probed the\n"
+      "replicas still finds the closest one almost always, and the rare\n"
+      "wrong pick costs only a few ms — this is what lets the system route\n"
+      "accesses by coordinates instead of measuring every replica.\n");
+  return 0;
+}

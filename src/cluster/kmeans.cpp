@@ -1,0 +1,149 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/ensure.h"
+
+namespace geored::cluster {
+
+namespace {
+
+std::size_t nearest_centroid(const Point& p, const std::vector<Point>& centroids) {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double dist = p.distance_squared_to(centroids[c]);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// k-means++ seeding over weighted points: the first centroid is drawn with
+/// probability proportional to weight, subsequent ones proportional to
+/// weight * D^2 (distance to the nearest already-chosen centroid).
+std::vector<Point> kmeanspp_seed(const std::vector<WeightedPoint>& points, std::size_t k,
+                                 Rng& rng) {
+  std::vector<double> weights(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) weights[i] = points[i].weight;
+
+  std::vector<Point> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.weighted_index(weights)].position);
+
+  std::vector<double> dist_sq(points.size(), std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    std::vector<double> probs(points.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      dist_sq[i] = std::min(dist_sq[i], points[i].position.distance_squared_to(centroids.back()));
+      probs[i] = points[i].weight * dist_sq[i];
+      total += probs[i];
+    }
+    if (total <= 0.0) break;  // all remaining mass sits on chosen centroids
+    centroids.push_back(points[rng.weighted_index(probs)].position);
+  }
+  return centroids;
+}
+
+/// Lloyd's algorithm from given centroids; shared by the seeded and
+/// warm-start entry points.
+KMeansResult lloyd(const std::vector<WeightedPoint>& points, std::vector<Point> centroids,
+                   const KMeansConfig& config) {
+  const std::size_t dim = points.front().position.dim();
+  std::vector<std::size_t> assignment(points.size(), 0);
+  double prev_objective = std::numeric_limits<double>::infinity();
+  std::size_t iterations = 0;
+  for (; iterations < config.max_iterations; ++iterations) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      assignment[i] = nearest_centroid(points[i].position, centroids);
+    }
+    std::vector<Point> sums(centroids.size(), Point(dim));
+    std::vector<double> cluster_weight(centroids.size(), 0.0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sums[assignment[i]] += points[i].position * points[i].weight;
+      cluster_weight[assignment[i]] += points[i].weight;
+    }
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (cluster_weight[c] > 0.0) centroids[c] = sums[c] / cluster_weight[c];
+      // Empty clusters keep their previous centroid; with good seeding this
+      // is rare and self-corrects on the next assignment.
+    }
+    const double objective = kmeans_objective(points, centroids);
+    if (prev_objective - objective <= config.tolerance * std::max(1.0, prev_objective)) {
+      prev_objective = objective;
+      ++iterations;
+      break;
+    }
+    prev_objective = objective;
+  }
+  KMeansResult result;
+  result.objective = kmeans_objective(points, centroids);
+  result.iterations = iterations;
+  result.assignment.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.assignment[i] = nearest_centroid(points[i].position, centroids);
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace
+
+double kmeans_objective(const std::vector<WeightedPoint>& points,
+                        const std::vector<Point>& centroids) {
+  GEORED_ENSURE(!centroids.empty(), "objective needs at least one centroid");
+  double total = 0.0;
+  for (const auto& wp : points) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& c : centroids) best = std::min(best, wp.position.distance_squared_to(c));
+    total += wp.weight * best;
+  }
+  return total;
+}
+
+KMeansResult weighted_kmeans(const std::vector<WeightedPoint>& points,
+                             const KMeansConfig& config, Rng& rng) {
+  GEORED_ENSURE(!points.empty(), "k-means requires at least one point");
+  GEORED_ENSURE(config.k >= 1, "k-means requires k >= 1");
+  double total_weight = 0.0;
+  for (const auto& wp : points) {
+    GEORED_ENSURE(wp.weight >= 0.0, "point weights must be non-negative");
+    total_weight += wp.weight;
+  }
+  GEORED_ENSURE(total_weight > 0.0, "k-means requires positive total weight");
+
+  KMeansResult best_result;
+  best_result.objective = std::numeric_limits<double>::infinity();
+
+  const std::size_t restarts = std::max<std::size_t>(1, config.restarts);
+  for (std::size_t restart = 0; restart < restarts; ++restart) {
+    KMeansResult result = lloyd(points, kmeanspp_seed(points, config.k, rng), config);
+    if (result.objective < best_result.objective) best_result = std::move(result);
+  }
+  return best_result;
+}
+
+KMeansResult weighted_kmeans_from(const std::vector<WeightedPoint>& points,
+                                  std::vector<Point> initial_centroids,
+                                  const KMeansConfig& config) {
+  GEORED_ENSURE(!points.empty(), "k-means requires at least one point");
+  GEORED_ENSURE(!initial_centroids.empty(), "warm start requires initial centroids");
+  for (const auto& centroid : initial_centroids) {
+    GEORED_ENSURE(centroid.dim() == points.front().position.dim(),
+                  "centroid dimension mismatch");
+  }
+  return lloyd(points, std::move(initial_centroids), config);
+}
+
+KMeansResult kmeans(const std::vector<Point>& points, const KMeansConfig& config, Rng& rng) {
+  std::vector<WeightedPoint> weighted;
+  weighted.reserve(points.size());
+  for (const auto& p : points) weighted.push_back({p, 1.0});
+  return weighted_kmeans(weighted, config, rng);
+}
+
+}  // namespace geored::cluster

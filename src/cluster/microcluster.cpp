@@ -1,0 +1,100 @@
+#include "cluster/microcluster.h"
+
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace geored::cluster {
+
+MicroCluster::MicroCluster(const Point& coords, double weight)
+    : count_(1), weight_(weight), sum_(coords), sum2_(coords.component_squares()) {
+  GEORED_ENSURE(weight >= 0.0, "access weight must be non-negative");
+}
+
+void MicroCluster::absorb(const Point& coords, double weight) {
+  GEORED_ENSURE(weight >= 0.0, "access weight must be non-negative");
+  if (count_ == 0) {
+    *this = MicroCluster(coords, weight);
+    return;
+  }
+  GEORED_ENSURE(coords.dim() == sum_.dim(), "dimension mismatch in absorb");
+  ++count_;
+  weight_ += weight;
+  sum_ += coords;
+  sum2_ += coords.component_squares();
+}
+
+void MicroCluster::merge(const MicroCluster& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  GEORED_ENSURE(sum_.dim() == other.sum_.dim(), "dimension mismatch in merge");
+  count_ += other.count_;
+  weight_ += other.weight_;
+  sum_ += other.sum_;
+  sum2_ += other.sum2_;
+}
+
+void MicroCluster::scale(double factor) {
+  GEORED_ENSURE(factor > 0.0 && factor <= 1.0, "scale factor must be in (0,1]");
+  if (count_ == 0) return;
+  const auto new_count =
+      static_cast<std::uint64_t>(static_cast<double>(count_) * factor + 0.5);
+  if (new_count == 0) {
+    *this = MicroCluster();
+    return;
+  }
+  // Scale the moments by the *realized* count ratio (not the raw factor) so
+  // that centroid and stddev are exactly preserved despite count rounding.
+  const double realized = static_cast<double>(new_count) / static_cast<double>(count_);
+  count_ = new_count;
+  weight_ *= realized;
+  sum_ *= realized;
+  sum2_ *= realized;
+}
+
+Point MicroCluster::centroid() const {
+  GEORED_ENSURE(count_ > 0, "centroid of an empty micro-cluster");
+  return sum_ / static_cast<double>(count_);
+}
+
+double MicroCluster::rms_stddev() const {
+  GEORED_ENSURE(count_ > 0, "stddev of an empty micro-cluster");
+  const auto n = static_cast<double>(count_);
+  double total_variance = 0.0;
+  for (std::size_t d = 0; d < sum_.dim(); ++d) {
+    const double mean = sum_[d] / n;
+    // Population variance from the stored moments; clamp tiny negative
+    // values produced by floating-point cancellation.
+    const double variance = std::max(0.0, sum2_[d] / n - mean * mean);
+    total_variance += variance;
+  }
+  return std::sqrt(total_variance);
+}
+
+void MicroCluster::serialize(ByteWriter& writer) const {
+  writer.write_u64(count_);
+  writer.write_f64(weight_);
+  writer.write_f64_vector(sum_.values());
+  writer.write_f64_vector(sum2_.values());
+}
+
+MicroCluster MicroCluster::deserialize(ByteReader& reader) {
+  MicroCluster cluster;
+  cluster.count_ = reader.read_u64();
+  cluster.weight_ = reader.read_f64();
+  cluster.sum_ = Point(reader.read_f64_vector());
+  cluster.sum2_ = Point(reader.read_f64_vector());
+  GEORED_ENSURE(cluster.sum_.dim() == cluster.sum2_.dim(),
+                "corrupt micro-cluster encoding: moment dimension mismatch");
+  return cluster;
+}
+
+std::size_t MicroCluster::serialized_size(std::size_t dim) {
+  return sizeof(std::uint64_t) + sizeof(double)            // count, weight
+         + 2 * (sizeof(std::uint32_t) + dim * sizeof(double));  // sum, sum2
+}
+
+}  // namespace geored::cluster

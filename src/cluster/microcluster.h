@@ -1,0 +1,67 @@
+// Micro-clusters: the paper's constant-size summary of a user population.
+//
+// Per Section III-B, each micro-cluster stores exactly four quantities:
+//   count  - number of accesses absorbed,
+//   weight - total data volume exchanged with those users,
+//   sum    - per-dimension sum of absorbed coordinates,
+//   sum2   - per-dimension sum of squared coordinates.
+// The centroid is sum/count and the standard deviation is derived from
+// E[X^2] - E[X]^2, so clusters can be merged by adding their moments — the
+// CluStream (Aggarwal et al., VLDB'03) cluster-feature representation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/point.h"
+#include "common/serialize.h"
+
+namespace geored::cluster {
+
+class MicroCluster {
+ public:
+  MicroCluster() = default;
+
+  /// Creates a singleton cluster from one access at `coords` with data
+  /// volume `weight`.
+  MicroCluster(const Point& coords, double weight);
+
+  /// Absorbs one access into the cluster.
+  void absorb(const Point& coords, double weight);
+
+  /// Merges another cluster's moments into this one.
+  void merge(const MicroCluster& other);
+
+  /// Scales all moments by `factor` in (0, 1]: centroid and stddev are
+  /// preserved while the cluster's influence (count, weight) decays. The
+  /// count is rounded down; a cluster decayed to count 0 should be dropped.
+  void scale(double factor);
+
+  std::uint64_t count() const { return count_; }
+  double weight() const { return weight_; }
+  const Point& sum() const { return sum_; }
+  const Point& sum2() const { return sum2_; }
+
+  /// Centroid sum/count. Requires count() > 0.
+  Point centroid() const;
+
+  /// Root-mean-square per-dimension population standard deviation: the
+  /// radius used by the paper's absorb-or-spawn test. Zero for singletons.
+  double rms_stddev() const;
+
+  /// Wire encoding: count, weight, dim, sum[], sum2[]. This is what replica
+  /// servers ship to the coordinator; its size (see serialized_size) is the
+  /// unit of the Table II bandwidth accounting.
+  void serialize(ByteWriter& writer) const;
+  static MicroCluster deserialize(ByteReader& reader);
+
+  /// Exact size in bytes of the wire encoding for a given dimensionality.
+  static std::size_t serialized_size(std::size_t dim);
+
+ private:
+  std::uint64_t count_ = 0;
+  double weight_ = 0.0;
+  Point sum_;
+  Point sum2_;
+};
+
+}  // namespace geored::cluster

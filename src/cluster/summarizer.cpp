@@ -1,0 +1,115 @@
+#include "cluster/summarizer.h"
+
+#include <limits>
+
+#include "common/ensure.h"
+
+namespace geored::cluster {
+
+MicroClusterSummarizer::MicroClusterSummarizer(const SummarizerConfig& config)
+    : config_(config) {
+  GEORED_ENSURE(config.max_clusters >= 1, "summarizer needs at least one micro-cluster");
+  GEORED_ENSURE(config.min_absorb_radius >= 0.0, "min_absorb_radius must be non-negative");
+  GEORED_ENSURE(config.radius_factor > 0.0, "radius_factor must be positive");
+  GEORED_ENSURE(config.epoch_decay > 0.0 && config.epoch_decay <= 1.0,
+                "epoch_decay must be in (0,1]");
+  clusters_.reserve(config.max_clusters + 1);
+}
+
+void MicroClusterSummarizer::add(const Point& coords, double weight) {
+  ++total_count_;
+  if (clusters_.empty()) {
+    clusters_.emplace_back(coords, weight);
+    return;
+  }
+
+  const std::size_t nearest = nearest_cluster(coords);
+  MicroCluster& candidate = clusters_[nearest];
+  const double distance = coords.distance_to(candidate.centroid());
+  // The paper's rule: absorb when the client is within the cluster's
+  // standard deviation; the configurable floor keeps singleton clusters
+  // (stddev 0) from rejecting everything.
+  const double radius =
+      std::max(config_.min_absorb_radius, config_.radius_factor * candidate.rms_stddev());
+  if (distance <= radius) {
+    candidate.absorb(coords, weight);
+    return;
+  }
+
+  clusters_.emplace_back(coords, weight);
+  if (clusters_.size() > config_.max_clusters) {
+    merge_closest_pair();
+  }
+}
+
+void MicroClusterSummarizer::merge_cluster(const MicroCluster& cluster) {
+  if (cluster.count() == 0) return;
+  total_count_ += cluster.count();
+  clusters_.push_back(cluster);
+  if (clusters_.size() > config_.max_clusters) {
+    merge_closest_pair();
+  }
+}
+
+std::size_t MicroClusterSummarizer::nearest_cluster(const Point& coords) const {
+  GEORED_CHECK(!clusters_.empty(), "nearest_cluster on empty summarizer");
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    const double dist = coords.distance_squared_to(clusters_[i].centroid());
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void MicroClusterSummarizer::merge_closest_pair() {
+  GEORED_CHECK(clusters_.size() >= 2, "merge requires at least two clusters");
+  std::size_t best_a = 0, best_b = 1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < clusters_.size(); ++a) {
+    const Point centroid_a = clusters_[a].centroid();
+    for (std::size_t b = a + 1; b < clusters_.size(); ++b) {
+      const double dist = centroid_a.distance_squared_to(clusters_[b].centroid());
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  clusters_[best_a].merge(clusters_[best_b]);
+  clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(best_b));
+}
+
+void MicroClusterSummarizer::decay() {
+  std::vector<MicroCluster> survivors;
+  survivors.reserve(clusters_.size());
+  for (auto& cluster : clusters_) {
+    cluster.scale(config_.epoch_decay);
+    if (cluster.count() > 0) survivors.push_back(cluster);
+  }
+  clusters_ = std::move(survivors);
+}
+
+void MicroClusterSummarizer::clear() {
+  clusters_.clear();
+  total_count_ = 0;
+}
+
+void MicroClusterSummarizer::serialize(ByteWriter& writer) const {
+  writer.write_u32(static_cast<std::uint32_t>(clusters_.size()));
+  for (const auto& cluster : clusters_) cluster.serialize(writer);
+}
+
+std::vector<MicroCluster> MicroClusterSummarizer::deserialize_clusters(ByteReader& reader) {
+  const std::uint32_t n = reader.read_u32();
+  std::vector<MicroCluster> clusters;
+  clusters.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) clusters.push_back(MicroCluster::deserialize(reader));
+  return clusters;
+}
+
+}  // namespace geored::cluster

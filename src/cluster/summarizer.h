@@ -1,0 +1,74 @@
+// Online per-replica summarization of client coordinates (paper §III-B).
+//
+// Each replica server owns one MicroClusterSummarizer. On every client
+// access the summarizer finds the micro-cluster whose centroid is closest to
+// the client's coordinates; if the client falls within that cluster's
+// standard deviation it is absorbed, otherwise a new cluster is created and,
+// if the budget m is exceeded, the two closest clusters are merged.
+// Memory is O(m * dim) regardless of how many accesses are summarized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/microcluster.h"
+#include "common/point.h"
+#include "common/serialize.h"
+
+namespace geored::cluster {
+
+struct SummarizerConfig {
+  /// Maximum number of micro-clusters retained (the paper's m).
+  std::size_t max_clusters = 4;
+  /// Radius granted to clusters whose variance is still degenerate (e.g.
+  /// singletons, whose stddev is zero): a client closer than this is
+  /// absorbed rather than spawning a new cluster. Milliseconds of
+  /// coordinate-space distance.
+  double min_absorb_radius = 5.0;
+  /// Multiplier on the cluster stddev for the absorb test (1.0 = the paper's
+  /// "within the standard deviation").
+  double radius_factor = 1.0;
+  /// Decay applied by decay() to counts and weights, implementing the
+  /// "recent accesses" emphasis between placement epochs.
+  double epoch_decay = 0.5;
+};
+
+class MicroClusterSummarizer {
+ public:
+  explicit MicroClusterSummarizer(const SummarizerConfig& config = {});
+
+  /// Records one access by a client at `coords` transferring `weight` units
+  /// of data (e.g. bytes, normalized).
+  void add(const Point& coords, double weight = 1.0);
+
+  /// Inserts a whole micro-cluster (e.g. one inherited from a replica that
+  /// is being retired). The cluster is kept intact; if the budget m is
+  /// exceeded the two closest clusters are merged, as in add().
+  void merge_cluster(const MicroCluster& cluster);
+
+  const std::vector<MicroCluster>& clusters() const { return clusters_; }
+
+  /// Total accesses summarized since construction or the last clear().
+  std::uint64_t total_count() const { return total_count_; }
+
+  /// Exponentially decays all cluster counts/weights (see
+  /// SummarizerConfig::epoch_decay); clusters decayed below one access are
+  /// dropped. Called at placement-epoch boundaries so old populations fade.
+  void decay();
+
+  void clear();
+
+  /// Serializes all clusters (the per-replica message of Algorithm 1).
+  void serialize(ByteWriter& writer) const;
+  static std::vector<MicroCluster> deserialize_clusters(ByteReader& reader);
+
+ private:
+  std::size_t nearest_cluster(const Point& coords) const;
+  void merge_closest_pair();
+
+  SummarizerConfig config_;
+  std::vector<MicroCluster> clusters_;
+  std::uint64_t total_count_ = 0;
+};
+
+}  // namespace geored::cluster

@@ -1,0 +1,57 @@
+// Lightweight precondition / invariant checking for the geored library.
+//
+// GEORED_ENSURE is used to validate arguments on public API boundaries; it
+// throws std::invalid_argument so callers can recover. GEORED_CHECK is used
+// for internal invariants; it throws geored::InternalError, signalling a bug
+// in this library rather than misuse by the caller.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace geored {
+
+/// Raised when an internal invariant of the library is violated (a bug in
+/// geored itself, not caller misuse).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_ensure_failure(const char* expr, const std::string& msg,
+                                              const std::source_location& loc) {
+  throw std::invalid_argument(std::string(loc.file_name()) + ":" +
+                              std::to_string(loc.line()) + ": requirement (" + expr +
+                              ") failed" + (msg.empty() ? "" : ": " + msg));
+}
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const std::string& msg,
+                                             const std::source_location& loc) {
+  throw InternalError(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+                      ": internal invariant (" + std::string(expr) + ") violated" +
+                      (msg.empty() ? "" : ": " + msg));
+}
+
+}  // namespace detail
+}  // namespace geored
+
+/// Validate a caller-supplied argument; throws std::invalid_argument on failure.
+#define GEORED_ENSURE(expr, msg)                                                       \
+  do {                                                                                 \
+    if (!(expr)) {                                                                     \
+      ::geored::detail::throw_ensure_failure(#expr, (msg),                             \
+                                             std::source_location::current());         \
+    }                                                                                  \
+  } while (false)
+
+/// Validate an internal invariant; throws geored::InternalError on failure.
+#define GEORED_CHECK(expr, msg)                                                        \
+  do {                                                                                 \
+    if (!(expr)) {                                                                     \
+      ::geored::detail::throw_check_failure(#expr, (msg),                              \
+                                            std::source_location::current());          \
+    }                                                                                  \
+  } while (false)

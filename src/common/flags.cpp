@@ -1,0 +1,179 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/ensure.h"
+
+namespace geored {
+
+namespace {
+
+std::string type_name(int type) {
+  switch (type) {
+    case 0:
+      return "string";
+    case 1:
+      return "int";
+    case 2:
+      return "double";
+    case 3:
+      return "bool";
+  }
+  return "?";
+}
+
+bool parse_bool(const std::string& text) {
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  throw std::invalid_argument("invalid boolean value: " + text);
+}
+
+}  // namespace
+
+FlagParser::FlagParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void FlagParser::add_flag(const std::string& name, Type type, std::string default_value,
+                          std::string description) {
+  GEORED_ENSURE(!name.empty(), "flag names must be non-empty");
+  GEORED_ENSURE(!flags_.contains(name), "duplicate flag: " + name);
+  flags_.emplace(name, Flag{type, default_value, std::move(default_value),
+                            std::move(description), false});
+}
+
+void FlagParser::add_string(const std::string& name, std::string default_value,
+                            std::string description) {
+  add_flag(name, Type::kString, std::move(default_value), std::move(description));
+}
+
+void FlagParser::add_int(const std::string& name, std::int64_t default_value,
+                         std::string description) {
+  add_flag(name, Type::kInt, std::to_string(default_value), std::move(description));
+}
+
+void FlagParser::add_double(const std::string& name, double default_value,
+                            std::string description) {
+  std::ostringstream os;
+  os << default_value;
+  add_flag(name, Type::kDouble, os.str(), std::move(description));
+}
+
+void FlagParser::add_bool(const std::string& name, bool default_value,
+                          std::string description) {
+  add_flag(name, Type::kBool, default_value ? "true" : "false", std::move(description));
+}
+
+void FlagParser::assign(const std::string& name, const std::string& value) {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::invalid_argument("unknown flag: --" + name);
+  Flag& flag = it->second;
+  // Validate eagerly so errors point at the offending flag.
+  try {
+    switch (flag.type) {
+      case Type::kString:
+        break;
+      case Type::kInt:
+        (void)std::stoll(value);
+        break;
+      case Type::kDouble:
+        (void)std::stod(value);
+        break;
+      case Type::kBool:
+        (void)parse_bool(value);
+        break;
+    }
+  } catch (const std::exception&) {
+    throw std::invalid_argument("invalid value for --" + name + ": '" + value + "' (" +
+                                type_name(static_cast<int>(flag.type)) + " expected)");
+  }
+  flag.value = value;
+  flag.set = true;
+}
+
+std::vector<std::string> FlagParser::parse(const std::vector<std::string>& args) {
+  std::vector<std::string> positional;
+  bool flags_done = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (flags_done || !arg.starts_with("--")) {
+      positional.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      assign(body.substr(0, eq), body.substr(eq + 1));
+      continue;
+    }
+    // --name value, except bool flags which may stand alone.
+    const auto it = flags_.find(body);
+    if (it == flags_.end()) throw std::invalid_argument("unknown flag: --" + body);
+    if (it->second.type == Type::kBool) {
+      // A following "true"/"false" is consumed; otherwise the flag is set.
+      if (i + 1 < args.size() &&
+          (args[i + 1] == "true" || args[i + 1] == "false")) {
+        assign(body, args[++i]);
+      } else {
+        assign(body, "true");
+      }
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument("flag --" + body + " requires a value");
+    }
+    assign(body, args[++i]);
+  }
+  return positional;
+}
+
+const FlagParser::Flag& FlagParser::flag_for(const std::string& name, Type type) const {
+  const auto it = flags_.find(name);
+  GEORED_ENSURE(it != flags_.end(), "flag was never registered: " + name);
+  GEORED_ENSURE(it->second.type == type, "flag accessed with the wrong type: " + name);
+  return it->second;
+}
+
+std::string FlagParser::get_string(const std::string& name) const {
+  return flag_for(name, Type::kString).value;
+}
+
+std::int64_t FlagParser::get_int(const std::string& name) const {
+  return std::stoll(flag_for(name, Type::kInt).value);
+}
+
+double FlagParser::get_double(const std::string& name) const {
+  return std::stod(flag_for(name, Type::kDouble).value);
+}
+
+bool FlagParser::get_bool(const std::string& name) const {
+  return parse_bool(flag_for(name, Type::kBool).value);
+}
+
+bool FlagParser::is_set(const std::string& name) const {
+  const auto it = flags_.find(name);
+  GEORED_ENSURE(it != flags_.end(), "flag was never registered: " + name);
+  return it->second.set;
+}
+
+std::string FlagParser::help() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (" << type_name(static_cast<int>(flag.type))
+       << ", default: " << (flag.default_value.empty() ? "\"\"" : flag.default_value)
+       << ")\n      " << flag.description << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace geored

@@ -1,0 +1,67 @@
+// A small command-line flag parser for the geored tools.
+//
+// Supports --name=value and --name value forms, typed accessors with
+// defaults, boolean flags (--verbose / --verbose=false), `--` to end flag
+// parsing, and generated help text. Unknown flags are errors — typos should
+// fail loudly in experiment tooling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace geored {
+
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program, std::string description);
+
+  /// Registers a flag. Names must be unique and non-empty.
+  void add_string(const std::string& name, std::string default_value,
+                  std::string description);
+  void add_int(const std::string& name, std::int64_t default_value, std::string description);
+  void add_double(const std::string& name, double default_value, std::string description);
+  void add_bool(const std::string& name, bool default_value, std::string description);
+
+  /// Parses arguments (excluding argv[0]); returns positional arguments.
+  /// Throws std::invalid_argument on unknown flags or malformed values.
+  /// "--help" sets help_requested() instead of failing.
+  std::vector<std::string> parse(const std::vector<std::string>& args);
+
+  bool help_requested() const { return help_requested_; }
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// True if the flag was explicitly set on the command line.
+  bool is_set(const std::string& name) const;
+
+  /// Usage text listing every flag with its default and description.
+  std::string help() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string value;  // current textual value
+    std::string default_value;
+    std::string description;
+    bool set = false;
+  };
+
+  void add_flag(const std::string& name, Type type, std::string default_value,
+                std::string description);
+  Flag& flag_for(const std::string& name, Type type);
+  const Flag& flag_for(const std::string& name, Type type) const;
+  void assign(const std::string& name, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace geored

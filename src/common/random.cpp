@@ -1,0 +1,186 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/ensure.h"
+
+namespace geored {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // All-zero state would lock xoshiro at zero forever; SplitMix64 cannot
+  // produce four zero outputs in a row, but guard against it defensively.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random bits into [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  GEORED_ENSURE(lo <= hi, "uniform(lo,hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  GEORED_ENSURE(n > 0, "below(n) requires n > 0");
+  // Lemire's rejection method for an unbiased bounded draw.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::integer(std::int64_t lo, std::int64_t hi) {
+  GEORED_ENSURE(lo <= hi, "integer(lo,hi) requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::exponential(double rate) {
+  GEORED_ENSURE(rate > 0, "exponential(rate) requires rate > 0");
+  // 1 - uniform() is in (0,1], so the log argument is never zero.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+bool Rng::bernoulli(double p) { return uniform() < std::clamp(p, 0.0, 1.0); }
+
+std::uint64_t Rng::poisson(double mean) {
+  GEORED_ENSURE(mean >= 0.0, "poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; fine for our use
+    // (expected access counts), where mean is large and tails are unused.
+    const double value = normal(mean, std::sqrt(mean));
+    return value <= 0.0 ? 0 : static_cast<std::uint64_t>(value + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  std::uint64_t count = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  GEORED_ENSURE(!weights.empty(), "weighted_index requires a non-empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    GEORED_ENSURE(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  GEORED_ENSURE(total > 0.0, "weighted_index requires a positive total weight");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: target landed exactly on total
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> result(n);
+  std::iota(result.begin(), result.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(result[i - 1], result[below(i)]);
+  }
+  return result;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  GEORED_ENSURE(k <= n, "cannot sample more elements than the population holds");
+  // Partial Fisher-Yates over an index vector: O(n) setup, O(k) swaps.
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + below(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  std::uint64_t s = seed_;
+  // Mix the stream id through SplitMix64 twice so nearby stream ids do not
+  // yield nearby seeds.
+  std::uint64_t mix = splitmix64(s) ^ (stream * 0xda942042e4dd58b5ULL);
+  return Rng(splitmix64(mix));
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  GEORED_ENSURE(n >= 1, "ZipfSampler requires n >= 1");
+  GEORED_ENSURE(s >= 0.0, "ZipfSampler requires exponent s >= 0");
+  cumulative_.resize(n);
+  double running = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    running += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cumulative_[rank] = running;
+  }
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double target = rng.uniform() * cumulative_.back();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
+  return static_cast<std::size_t>(std::distance(cumulative_.begin(), it));
+}
+
+}  // namespace geored

@@ -1,0 +1,72 @@
+#include "common/significance.h"
+
+#include <cmath>
+
+#include "common/ensure.h"
+#include "common/stats.h"
+
+namespace geored {
+
+double normal_two_sided_p(double z) {
+  // P(|Z| > |z|) = erfc(|z| / sqrt(2)).
+  return std::erfc(std::abs(z) / std::sqrt(2.0));
+}
+
+TTestResult paired_t_test(const std::vector<double>& first,
+                          const std::vector<double>& second) {
+  GEORED_ENSURE(first.size() == second.size(), "paired test requires aligned samples");
+  GEORED_ENSURE(first.size() >= 2, "paired test requires at least two pairs");
+  OnlineStats differences;
+  for (std::size_t i = 0; i < first.size(); ++i) differences.add(first[i] - second[i]);
+
+  TTestResult result;
+  result.mean_difference = differences.mean();
+  result.degrees_of_freedom = static_cast<double>(first.size() - 1);
+  const double stderr_mean =
+      differences.stddev() / std::sqrt(static_cast<double>(first.size()));
+  if (stderr_mean == 0.0) {
+    // All differences identical: either exactly zero (p = 1) or a constant
+    // nonzero shift (p -> 0).
+    result.t_statistic = result.mean_difference == 0.0
+                             ? 0.0
+                             : std::copysign(1e12, result.mean_difference);
+    result.p_value = result.mean_difference == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic = result.mean_difference / stderr_mean;
+  result.p_value = normal_two_sided_p(result.t_statistic);
+  return result;
+}
+
+TTestResult welch_t_test(const std::vector<double>& first,
+                         const std::vector<double>& second) {
+  GEORED_ENSURE(first.size() >= 2 && second.size() >= 2,
+                "welch test requires at least two samples per side");
+  OnlineStats a, b;
+  for (const double v : first) a.add(v);
+  for (const double v : second) b.add(v);
+  const double na = static_cast<double>(a.count());
+  const double nb = static_cast<double>(b.count());
+  const double var_a = a.variance() / na;
+  const double var_b = b.variance() / nb;
+
+  TTestResult result;
+  result.mean_difference = a.mean() - b.mean();
+  const double pooled = var_a + var_b;
+  if (pooled == 0.0) {
+    result.t_statistic =
+        result.mean_difference == 0.0 ? 0.0 : std::copysign(1e12, result.mean_difference);
+    result.p_value = result.mean_difference == 0.0 ? 1.0 : 0.0;
+    result.degrees_of_freedom = na + nb - 2.0;
+    return result;
+  }
+  result.t_statistic = result.mean_difference / std::sqrt(pooled);
+  // Welch–Satterthwaite degrees of freedom.
+  const double df_denominator =
+      var_a * var_a / (na - 1.0) + var_b * var_b / (nb - 1.0);
+  result.degrees_of_freedom = pooled * pooled / df_denominator;
+  result.p_value = normal_two_sided_p(result.t_statistic);
+  return result;
+}
+
+}  // namespace geored

@@ -1,0 +1,39 @@
+// Statistical comparison of experiment outcomes.
+//
+// The evaluation harness averages 30 runs per point; whether "strategy A
+// beats strategy B" is signal or noise deserves a test, not a shrug. The
+// experiments pair naturally (same run seed ⇒ same candidate set and
+// client population for every strategy), so the paired t-test applies;
+// Welch's test covers unpaired samples. P-values use the normal
+// approximation to the t distribution — exact enough at n ≈ 30 for the
+// accept/reject calls made here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace geored {
+
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  /// Two-sided p-value (normal approximation).
+  double p_value = 1.0;
+  /// Mean difference (first sample minus second).
+  double mean_difference = 0.0;
+  bool significant_at_05() const { return p_value < 0.05; }
+};
+
+/// Paired t-test: samples must align index-by-index (e.g. per-run delays of
+/// two strategies over the same run seeds). Requires >= 2 pairs.
+TTestResult paired_t_test(const std::vector<double>& first,
+                          const std::vector<double>& second);
+
+/// Welch's unequal-variance t-test for independent samples (>= 2 each).
+TTestResult welch_t_test(const std::vector<double>& first,
+                         const std::vector<double>& second);
+
+/// Standard normal two-sided tail probability: P(|Z| > |z|).
+double normal_two_sided_p(double z);
+
+}  // namespace geored

@@ -1,0 +1,91 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/ensure.h"
+
+namespace geored {
+
+void OnlineStats::add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double combined = n1 + n2;
+  mean_ += delta * n2 / combined;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / combined;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::population_variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::population_stddev() const { return std::sqrt(population_variance()); }
+
+double percentile_sorted(const std::vector<double>& sorted_values, double q) {
+  GEORED_ENSURE(!sorted_values.empty(), "percentile of an empty sample");
+  GEORED_ENSURE(q >= 0.0 && q <= 1.0, "percentile quantile must be in [0,1]");
+  if (sorted_values.size() == 1) return sorted_values.front();
+  const double pos = q * static_cast<double>(sorted_values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac;
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary summary;
+  if (values.empty()) return summary;
+  std::sort(values.begin(), values.end());
+  OnlineStats stats;
+  for (double v : values) stats.add(v);
+  summary.count = stats.count();
+  summary.mean = stats.mean();
+  summary.stddev = stats.stddev();
+  summary.min = stats.min();
+  summary.max = stats.max();
+  summary.p50 = percentile_sorted(values, 0.50);
+  summary.p90 = percentile_sorted(values, 0.90);
+  summary.p99 = percentile_sorted(values, 0.99);
+  if (summary.count >= 2) {
+    summary.ci95_halfwidth =
+        1.96 * summary.stddev / std::sqrt(static_cast<double>(summary.count));
+  }
+  return summary;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " ±" << ci95_halfwidth
+     << " sd=" << stddev << " min=" << min << " p50=" << p50 << " p90=" << p90
+     << " p99=" << p99 << " max=" << max;
+  return os.str();
+}
+
+}  // namespace geored

@@ -1,0 +1,68 @@
+// Streaming and batch statistics used throughout the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace geored {
+
+/// Numerically stable single-pass accumulator (Welford) for mean / variance,
+/// plus min and max. Constant memory; suitable for millions of samples.
+class OnlineStats {
+ public:
+  void add(double value);
+
+  /// Merges another accumulator into this one (parallel Welford combination).
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); zero for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Population variance (n denominator); zero for no samples. This is the
+  /// E[X^2] - E[X]^2 form used by the paper's micro-cluster radius test.
+  double population_variance() const;
+  double population_stddev() const;
+
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch summary of a sample: mean, stddev, extremes and chosen percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  /// Half-width of the 95% normal-approximation confidence interval of the
+  /// mean (1.96 * stddev / sqrt(n)); zero for fewer than two samples.
+  double ci95_halfwidth = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Computes a Summary over a sample (the input is copied and sorted).
+Summary summarize(std::vector<double> values);
+
+/// Linear-interpolation percentile of a sorted sample, q in [0,1].
+double percentile_sorted(const std::vector<double>& sorted_values, double q);
+
+}  // namespace geored

@@ -1,0 +1,206 @@
+#include "core/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "cluster/kmeans.h"
+#include "common/ensure.h"
+#include "common/random.h"
+#include "common/serialize.h"
+#include "placement/assign.h"
+
+namespace geored::core {
+
+namespace {
+
+std::size_t serialized_bytes(const std::vector<cluster::MicroCluster>& clusters) {
+  ByteWriter writer;
+  writer.write_u32(static_cast<std::uint32_t>(clusters.size()));
+  for (const auto& micro : clusters) micro.serialize(writer);
+  return writer.size();
+}
+
+const place::CandidateInfo& info_of(const std::vector<place::CandidateInfo>& candidates,
+                                    topo::NodeId node) {
+  const auto it = std::find_if(candidates.begin(), candidates.end(),
+                               [node](const place::CandidateInfo& c) { return c.node == node; });
+  GEORED_ENSURE(it != candidates.end(), "node is not a known data center");
+  return *it;
+}
+
+}  // namespace
+
+AggregationPlan plan_aggregation(const std::vector<place::CandidateInfo>& candidates,
+                                 const std::vector<SummarySource>& sources,
+                                 const AggregationConfig& config, std::uint64_t seed) {
+  GEORED_ENSURE(!candidates.empty(), "aggregation needs candidate data centers");
+  GEORED_ENSURE(!sources.empty(), "aggregation needs at least one source");
+
+  std::size_t aggregator_count = config.aggregator_count;
+  if (aggregator_count == 0) {
+    aggregator_count = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(sources.size()))));
+  }
+  aggregator_count = std::min(aggregator_count, candidates.size());
+
+  // Aggregators sit where the sources are: weighted k-means over source
+  // coordinates (weight = cluster mass), mapped to distinct data centers.
+  std::vector<cluster::WeightedPoint> points;
+  for (const auto& source : sources) {
+    double mass = 0.0;
+    Point sum;
+    for (const auto& micro : source.clusters) {
+      if (micro.count() == 0) continue;
+      if (sum.empty()) sum = Point(micro.centroid().dim());
+      sum += micro.centroid() * static_cast<double>(micro.count());
+      mass += static_cast<double>(micro.count());
+    }
+    if (mass > 0.0) {
+      points.push_back({sum / mass, mass});
+    } else {
+      // A source with no usage still needs an aggregator; use its location.
+      points.push_back({info_of(candidates, source.node).coords, 1.0});
+    }
+  }
+
+  cluster::KMeansConfig kmeans_config;
+  kmeans_config.k = aggregator_count;
+  Rng rng(seed);
+  const auto result = cluster::weighted_kmeans(points, kmeans_config, rng);
+  std::vector<double> mass(result.centroids.size(), 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    mass[result.assignment[i]] += points[i].weight;
+  }
+  AggregationPlan plan;
+  plan.aggregators = place::assign_centroids_to_candidates(
+      result.centroids, mass, candidates, aggregator_count, seed);
+
+  for (const auto& source : sources) {
+    const Point& coords = info_of(candidates, source.node).coords;
+    topo::NodeId best = plan.aggregators.front();
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (const auto aggregator : plan.aggregators) {
+      const double dist = coords.distance_squared_to(info_of(candidates, aggregator).coords);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = aggregator;
+      }
+    }
+    plan.parent[source.node] = best;
+  }
+  return plan;
+}
+
+AggregationResult run_aggregation(sim::Simulator& simulator, sim::Network& network,
+                                  const AggregationPlan& plan,
+                                  const std::vector<SummarySource>& sources,
+                                  topo::NodeId root, const AggregationConfig& config) {
+  GEORED_ENSURE(!sources.empty(), "aggregation needs at least one source");
+  GEORED_ENSURE(config.max_clusters_per_aggregator >= 1,
+                "aggregators need a positive cluster budget");
+
+  AggregationResult result;
+  const std::uint64_t base_summary_bytes =
+      network.stats().bytes[static_cast<std::size_t>(sim::TrafficClass::kSummary)];
+
+  // Per-aggregator state: a bounded merger plus the number of pending
+  // source reports.
+  struct AggregatorState {
+    cluster::MicroClusterSummarizer merger;
+    std::size_t pending = 0;
+    AggregatorState(const cluster::SummarizerConfig& config)
+        : merger(config) {}
+  };
+  cluster::SummarizerConfig merger_config;
+  merger_config.max_clusters = config.max_clusters_per_aggregator;
+  auto states = std::make_shared<std::map<topo::NodeId, AggregatorState>>();
+  for (const auto aggregator : plan.aggregators) {
+    states->emplace(aggregator, AggregatorState(merger_config));
+  }
+  for (const auto& source : sources) {
+    const auto it = plan.parent.find(source.node);
+    GEORED_ENSURE(it != plan.parent.end(), "source missing from the aggregation plan");
+    ++states->at(it->second).pending;
+  }
+
+  auto pending_root = std::make_shared<std::size_t>(0);
+  for (const auto& [aggregator, state] : *states) {
+    if (state.pending > 0) ++*pending_root;
+  }
+  GEORED_CHECK(*pending_root > 0, "no aggregator has any source");
+
+  auto merged = std::make_shared<std::vector<cluster::MicroCluster>>();
+  auto root_bytes = std::make_shared<std::uint64_t>(0);
+  auto completion = std::make_shared<double>(0.0);
+
+  // Phase 2 sender: an aggregator finished -> forward its bounded merge.
+  const auto forward_to_root = [&simulator, &network, states, pending_root, merged,
+                                root_bytes, completion, root](topo::NodeId aggregator) {
+    auto& state = states->at(aggregator);
+    const auto clusters = state.merger.clusters();
+    const std::size_t bytes = serialized_bytes(clusters);
+    *root_bytes += bytes;
+    network.send(aggregator, root, bytes, sim::TrafficClass::kSummary,
+                 [states, pending_root, merged, completion, clusters, &simulator] {
+                   for (const auto& micro : clusters) merged->push_back(micro);
+                   if (--*pending_root == 0) *completion = simulator.now();
+                 });
+  };
+
+  // Phase 1: every source ships its summary to its aggregator.
+  for (const auto& source : sources) {
+    const topo::NodeId aggregator = plan.parent.at(source.node);
+    const std::size_t bytes = serialized_bytes(source.clusters);
+    const auto clusters = source.clusters;
+    network.send(source.node, aggregator, bytes, sim::TrafficClass::kSummary,
+                 [states, aggregator, clusters, forward_to_root] {
+                   auto& state = states->at(aggregator);
+                   for (const auto& micro : clusters) state.merger.merge_cluster(micro);
+                   if (--state.pending == 0) forward_to_root(aggregator);
+                 });
+  }
+
+  simulator.run();
+  result.merged = *merged;
+  result.bytes_into_root = *root_bytes;
+  result.bytes_total =
+      network.stats().bytes[static_cast<std::size_t>(sim::TrafficClass::kSummary)] -
+      base_summary_bytes;
+  result.completion_ms = *completion;
+  return result;
+}
+
+AggregationResult run_flat_collection(sim::Simulator& simulator, sim::Network& network,
+                                      const std::vector<SummarySource>& sources,
+                                      topo::NodeId root) {
+  GEORED_ENSURE(!sources.empty(), "collection needs at least one source");
+  AggregationResult result;
+  const std::uint64_t base_summary_bytes =
+      network.stats().bytes[static_cast<std::size_t>(sim::TrafficClass::kSummary)];
+  auto merged = std::make_shared<std::vector<cluster::MicroCluster>>();
+  auto pending = std::make_shared<std::size_t>(sources.size());
+  auto completion = std::make_shared<double>(0.0);
+  std::uint64_t root_bytes = 0;
+  for (const auto& source : sources) {
+    const std::size_t bytes = serialized_bytes(source.clusters);
+    root_bytes += bytes;
+    const auto clusters = source.clusters;
+    network.send(source.node, root, bytes, sim::TrafficClass::kSummary,
+                 [merged, pending, completion, clusters, &simulator] {
+                   for (const auto& micro : clusters) merged->push_back(micro);
+                   if (--*pending == 0) *completion = simulator.now();
+                 });
+  }
+  simulator.run();
+  result.merged = *merged;
+  result.bytes_into_root = root_bytes;
+  result.bytes_total =
+      network.stats().bytes[static_cast<std::size_t>(sim::TrafficClass::kSummary)] -
+      base_summary_bytes;
+  result.completion_ms = *completion;
+  return result;
+}
+
+}  // namespace geored::core

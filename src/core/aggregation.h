@@ -1,0 +1,76 @@
+// Hierarchical summary collection.
+//
+// Algorithm 1 ships every replica's micro-clusters straight to one central
+// server. That is fine for one object with k = 3 replicas, but a store
+// managing hundreds of object groups collects hundreds of summaries per
+// epoch, and the paper itself notes that access information "needs to be
+// processed efficiently even across data centers". This module builds a
+// two-level aggregation tree: summary sources send to their nearest
+// regional aggregator, each aggregator merges what it received into a
+// *bounded* micro-cluster set (the same CluStream merge the summarizers
+// use), and only the bounded merges travel to the root. Root inbound
+// bandwidth becomes O(aggregators * m̂) instead of O(sources * m).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/summarizer.h"
+#include "placement/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace geored::core {
+
+struct AggregationConfig {
+  /// Aggregator count; 0 = ceil(sqrt(#sources)), the bandwidth-balancing
+  /// choice for a two-level tree.
+  std::size_t aggregator_count = 0;
+  /// Micro-cluster budget of each aggregator's merged summary (m̂).
+  std::size_t max_clusters_per_aggregator = 16;
+};
+
+/// Which data centers aggregate, and who reports to whom.
+struct AggregationPlan {
+  std::vector<topo::NodeId> aggregators;
+  /// source node -> aggregator node (aggregators map to themselves).
+  std::map<topo::NodeId, topo::NodeId> parent;
+};
+
+/// One summary source: a node holding micro-clusters to report.
+struct SummarySource {
+  topo::NodeId node = 0;
+  std::vector<cluster::MicroCluster> clusters;
+};
+
+/// Chooses aggregators among the candidates (weighted k-means over the
+/// sources' coordinates, exactly the machinery of Algorithm 1) and assigns
+/// every source to its nearest aggregator. Deterministic in `seed`.
+AggregationPlan plan_aggregation(const std::vector<place::CandidateInfo>& candidates,
+                                 const std::vector<SummarySource>& sources,
+                                 const AggregationConfig& config, std::uint64_t seed);
+
+struct AggregationResult {
+  /// The root's merged view of every source's population.
+  std::vector<cluster::MicroCluster> merged;
+  std::uint64_t bytes_into_root = 0;   ///< summary bytes the root received
+  std::uint64_t bytes_total = 0;       ///< summary bytes on all links
+  double completion_ms = 0.0;          ///< virtual time until the root had everything
+};
+
+/// Runs the collection over the simulated network: sources -> aggregators
+/// -> root, with every message charged as summary traffic. The simulator is
+/// run to completion.
+AggregationResult run_aggregation(sim::Simulator& simulator, sim::Network& network,
+                                  const AggregationPlan& plan,
+                                  const std::vector<SummarySource>& sources,
+                                  topo::NodeId root, const AggregationConfig& config);
+
+/// Reference flat collection (every source straight to the root), for the
+/// bandwidth comparison.
+AggregationResult run_flat_collection(sim::Simulator& simulator, sim::Network& network,
+                                      const std::vector<SummarySource>& sources,
+                                      topo::NodeId root);
+
+}  // namespace geored::core

@@ -1,0 +1,45 @@
+// Decentralized placement epochs — no central server.
+//
+// Algorithm 1 collects summaries "at a node"; that node is a single point
+// of failure and a bandwidth hotspot. Because the whole decision is a
+// deterministic function of (candidate set, summaries, epoch seed), the
+// replicas can instead exchange their summaries all-to-all and *each*
+// compute the placement locally: with identical inputs — summaries ordered
+// by source id — and an identical seed, every replica arrives at the same
+// proposal without any coordination round. Cost: k*(k-1) summary messages
+// instead of k, still O(k^2 * m) bytes total — negligible for the paper's
+// k <= 7.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/microcluster.h"
+#include "placement/online_clustering.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace geored::core {
+
+struct DecentralizedEpochResult {
+  /// The agreed proposal (meaningful when `agreement` holds).
+  place::Placement proposal;
+  /// What each participating replica computed, in source-id order.
+  std::vector<place::Placement> per_replica;
+  bool agreement = false;
+  std::uint64_t summary_bytes = 0;  ///< total summary traffic exchanged
+  double completion_ms = 0.0;       ///< when the last replica decided
+};
+
+/// Runs one decentralized epoch over the simulated network.
+/// `replica_summaries` maps each current replica holder to its
+/// micro-clusters. Deterministic in `epoch_seed`.
+DecentralizedEpochResult run_decentralized_epoch(
+    sim::Simulator& simulator, sim::Network& network,
+    const std::vector<place::CandidateInfo>& candidates,
+    const std::map<topo::NodeId, std::vector<cluster::MicroCluster>>& replica_summaries,
+    std::size_t k, std::uint64_t epoch_seed,
+    const place::OnlineClusteringConfig& strategy_config = {});
+
+}  // namespace geored::core

@@ -1,0 +1,90 @@
+#include "core/degree_allocator.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/ensure.h"
+
+namespace geored::core {
+
+namespace {
+
+void validate(const std::vector<GroupDemand>& demands, const AllocatorConfig& config) {
+  GEORED_ENSURE(!demands.empty(), "allocator needs at least one group");
+  GEORED_ENSURE(config.min_degree >= 1 && config.min_degree <= config.max_degree,
+                "degree bounds must satisfy 1 <= min <= max");
+  const std::size_t levels = config.max_degree - config.min_degree + 1;
+  for (const auto& demand : demands) {
+    GEORED_ENSURE(demand.delay_by_degree.size() == levels,
+                  "each group needs one delay per degree in [min, max]");
+    for (std::size_t i = 1; i < demand.delay_by_degree.size(); ++i) {
+      GEORED_ENSURE(demand.delay_by_degree[i] <= demand.delay_by_degree[i - 1] + 1e-9,
+                    "delay must be non-increasing in the degree");
+    }
+  }
+  GEORED_ENSURE(config.budget >= demands.size() * config.min_degree,
+                "budget cannot cover the minimum degree for every group");
+}
+
+}  // namespace
+
+Allocation allocate_replica_budget(const std::vector<GroupDemand>& demands,
+                                   const AllocatorConfig& config) {
+  validate(demands, config);
+  Allocation allocation;
+  allocation.degree_per_group.assign(demands.size(), config.min_degree);
+  allocation.replicas_used = demands.size() * config.min_degree;
+
+  // Max-heap of (gain of the next replica, group).
+  struct Step {
+    double gain;
+    std::size_t group;
+    bool operator<(const Step& other) const { return gain < other.gain; }
+  };
+  std::priority_queue<Step> heap;
+  const auto gain_of = [&](std::size_t group, std::size_t current_degree) {
+    const std::size_t level = current_degree - config.min_degree;
+    if (current_degree >= config.max_degree) return -1.0;
+    return demands[group].delay_by_degree[level] -
+           demands[group].delay_by_degree[level + 1];
+  };
+  for (std::size_t g = 0; g < demands.size(); ++g) {
+    const double gain = gain_of(g, config.min_degree);
+    if (gain >= 0.0) heap.push({gain, g});
+  }
+
+  std::size_t remaining = config.budget - allocation.replicas_used;
+  while (remaining > 0 && !heap.empty()) {
+    const Step step = heap.top();
+    heap.pop();
+    auto& degree = allocation.degree_per_group[step.group];
+    ++degree;
+    ++allocation.replicas_used;
+    --remaining;
+    const double next_gain = gain_of(step.group, degree);
+    if (next_gain >= 0.0) heap.push({next_gain, step.group});
+  }
+
+  for (std::size_t g = 0; g < demands.size(); ++g) {
+    allocation.estimated_total_delay +=
+        demands[g].delay_by_degree[allocation.degree_per_group[g] - config.min_degree];
+  }
+  return allocation;
+}
+
+Allocation allocate_uniform(const std::vector<GroupDemand>& demands,
+                            const AllocatorConfig& config) {
+  validate(demands, config);
+  Allocation allocation;
+  const std::size_t per_group = std::clamp(config.budget / demands.size(),
+                                           config.min_degree, config.max_degree);
+  allocation.degree_per_group.assign(demands.size(), per_group);
+  allocation.replicas_used = per_group * demands.size();
+  for (std::size_t g = 0; g < demands.size(); ++g) {
+    allocation.estimated_total_delay +=
+        demands[g].delay_by_degree[per_group - config.min_degree];
+  }
+  return allocation;
+}
+
+}  // namespace geored::core

@@ -1,0 +1,228 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/ensure.h"
+#include "common/random.h"
+#include "placement/evaluate.h"
+
+namespace geored::core {
+
+std::string coord_system_name(CoordSystem system) {
+  switch (system) {
+    case CoordSystem::kRnp:
+      return "rnp";
+    case CoordSystem::kVivaldi:
+      return "vivaldi";
+    case CoordSystem::kGnp:
+      return "gnp";
+  }
+  throw InternalError("unknown coordinate system");
+}
+
+Environment::Environment(const topo::PlanetLabModelConfig& topology_config,
+                         std::uint64_t topology_seed, CoordSystem coord_system,
+                         const coord::GossipConfig& gossip, std::uint64_t embedding_seed)
+    : topology_(topo::generate_planetlab_like(topology_config, topology_seed)),
+      coord_system_(coord_system) {
+  switch (coord_system) {
+    case CoordSystem::kRnp:
+      coords_ = coord::run_rnp(topology_, coord::RnpConfig{}, gossip, embedding_seed);
+      break;
+    case CoordSystem::kVivaldi:
+      coords_ = coord::run_vivaldi(topology_, coord::VivaldiConfig{}, gossip, embedding_seed);
+      break;
+    case CoordSystem::kGnp:
+      coords_ = coord::run_gnp(topology_, coord::GnpConfig{});
+      break;
+  }
+}
+
+coord::EmbeddingQuality Environment::embedding_quality() const {
+  return coord::evaluate_embedding(topology_, coords_);
+}
+
+namespace {
+
+/// One run of the paper's protocol; returns the true average access delay
+/// achieved by each requested strategy.
+std::vector<double> run_once(const Environment& env, const ExperimentConfig& config,
+                             std::uint64_t seed) {
+  const auto& topology = env.topology();
+  const auto& coords = env.coordinates();
+  const std::size_t n = topology.size();
+  GEORED_ENSURE(config.num_datacenters >= 1 && config.num_datacenters < n,
+                "need at least one data center and one client");
+  Rng rng(seed);
+
+  // 1. Candidate data centers: a seeded random subset of nodes (each run
+  //    "begins with different candidate replica locations", §IV-A).
+  const auto candidate_idx = rng.sample_without_replacement(n, config.num_datacenters);
+  std::vector<bool> is_candidate(n, false);
+  std::vector<place::CandidateInfo> candidates;
+  candidates.reserve(candidate_idx.size());
+  for (const auto idx : candidate_idx) {
+    is_candidate[idx] = true;
+    candidates.push_back(
+        {static_cast<topo::NodeId>(idx), coords[idx].position,
+         std::numeric_limits<double>::infinity()});
+  }
+
+  // 2. Clients: every other node, with Poisson access counts around a
+  //    lognormal-spread per-client mean.
+  std::vector<place::ClientRecord> clients;
+  clients.reserve(n - candidates.size());
+  const double mu_correction = -0.5 * config.access_spread_sigma * config.access_spread_sigma;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    if (is_candidate[idx]) continue;
+    place::ClientRecord record;
+    record.client = static_cast<topo::NodeId>(idx);
+    record.coords = coords[idx].position;
+    const double mean = config.mean_accesses_per_client *
+                        std::exp(rng.normal(mu_correction, config.access_spread_sigma));
+    record.access_count = std::max<std::uint64_t>(1, rng.poisson(mean));
+    record.data_weight = static_cast<double>(record.access_count);
+    clients.push_back(std::move(record));
+  }
+
+  // 3. Observation phase: the object starts on k random candidates; every
+  //    access goes to the client's true-closest initial replica, which
+  //    summarizes it (Section III-B).
+  const std::size_t k = std::min(config.k, candidates.size());
+  const auto initial_idx = rng.sample_without_replacement(candidates.size(), k);
+  std::vector<topo::NodeId> initial_placement;
+  for (const auto idx : initial_idx) initial_placement.push_back(candidates[idx].node);
+
+  std::vector<std::size_t> closest_initial(clients.size());
+  for (std::size_t u = 0; u < clients.size(); ++u) {
+    std::size_t best = 0;
+    double best_rtt = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < initial_placement.size(); ++r) {
+      const double rtt = topology.rtt_ms(clients[u].client, initial_placement[r]);
+      if (rtt < best_rtt) {
+        best_rtt = rtt;
+        best = r;
+      }
+    }
+    closest_initial[u] = best;
+  }
+
+  cluster::SummarizerConfig summarizer_config;
+  summarizer_config.max_clusters = config.micro_clusters;
+  summarizer_config.min_absorb_radius = config.summarizer_min_radius_ms;
+  std::vector<cluster::MicroClusterSummarizer> summarizers(
+      initial_placement.size(), cluster::MicroClusterSummarizer(summarizer_config));
+
+  // Interleave accesses across clients so cluster formation sees arrivals in
+  // a realistic order rather than one client at a time.
+  std::vector<std::uint32_t> access_stream;
+  for (std::size_t u = 0; u < clients.size(); ++u) {
+    for (std::uint64_t a = 0; a < clients[u].access_count; ++a) {
+      access_stream.push_back(static_cast<std::uint32_t>(u));
+    }
+  }
+  for (std::size_t i = access_stream.size(); i > 1; --i) {
+    std::swap(access_stream[i - 1], access_stream[rng.below(i)]);
+  }
+  for (const auto u : access_stream) {
+    summarizers[closest_initial[u]].add(clients[u].coords, 1.0);
+  }
+
+  std::vector<cluster::MicroCluster> summaries;
+  for (const auto& summarizer : summarizers) {
+    for (const auto& micro : summarizer.clusters()) summaries.push_back(micro);
+  }
+
+  // 4. Every strategy proposes from the information it may see; proposals
+  //    are scored with the ground truth.
+  std::vector<double> delays;
+  delays.reserve(config.strategies.size());
+  for (std::size_t s = 0; s < config.strategies.size(); ++s) {
+    place::PlacementInput input;
+    input.candidates = candidates;
+    input.k = k;
+    input.clients = clients;
+    input.summaries = summaries;
+    input.topology = &topology;
+    input.quorum = config.quorum;
+    input.seed = seed ^ (0xc2b2ae3d27d4eb4fULL * (s + 1));
+
+    const auto strategy = place::make_strategy(config.strategies[s]);
+    const auto placement = strategy->place(input);
+    place::validate_placement(placement, input);
+    delays.push_back(place::true_average_delay(topology, placement, clients,
+                                               std::min(config.quorum, placement.size())));
+  }
+  return delays;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const Environment& env, const ExperimentConfig& config) {
+  GEORED_ENSURE(config.runs >= 1, "experiment needs at least one run");
+  GEORED_ENSURE(!config.strategies.empty(), "experiment needs at least one strategy");
+  ExperimentResult result;
+  result.outcomes.resize(config.strategies.size());
+  for (std::size_t s = 0; s < config.strategies.size(); ++s) {
+    result.outcomes[s].kind = config.strategies[s];
+    result.outcomes[s].name = place::strategy_name(config.strategies[s]);
+  }
+  // Per-run results land in a fixed slot, so any thread count produces the
+  // identical outcome.
+  std::vector<std::vector<double>> per_run(config.runs);
+  std::size_t threads = config.threads == 0
+                            ? std::max(1u, std::thread::hardware_concurrency())
+                            : config.threads;
+  threads = std::min(threads, config.runs);
+  if (threads <= 1) {
+    for (std::size_t r = 0; r < config.runs; ++r) {
+      per_run[r] = run_once(env, config, config.base_seed + r);
+    }
+  } else {
+    std::atomic<std::size_t> next_run{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        while (true) {
+          const std::size_t r = next_run.fetch_add(1);
+          if (r >= config.runs) break;
+          per_run[r] = run_once(env, config, config.base_seed + r);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  for (std::size_t r = 0; r < config.runs; ++r) {
+    for (std::size_t s = 0; s < per_run[r].size(); ++s) {
+      result.outcomes[s].per_run_delay_ms.push_back(per_run[r][s]);
+    }
+  }
+  for (auto& outcome : result.outcomes) {
+    outcome.average_delay_ms = summarize(outcome.per_run_delay_ms);
+  }
+  return result;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  const Environment env(topo::PlanetLabModelConfig{}, /*topology_seed=*/42, CoordSystem::kRnp,
+                        coord::GossipConfig{});
+  return run_experiment(env, config);
+}
+
+double ExperimentResult::mean_of(place::StrategyKind kind) const {
+  return outcome_of(kind).average_delay_ms.mean;
+}
+
+const StrategyOutcome& ExperimentResult::outcome_of(place::StrategyKind kind) const {
+  const auto it = std::find_if(outcomes.begin(), outcomes.end(),
+                               [kind](const StrategyOutcome& o) { return o.kind == kind; });
+  GEORED_ENSURE(it != outcomes.end(), "strategy was not part of the experiment");
+  return *it;
+}
+
+}  // namespace geored::core

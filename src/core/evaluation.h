@@ -1,0 +1,104 @@
+// The experiment harness of the paper's evaluation (Section IV).
+//
+// Protocol per run, mirroring §IV-A: from a 226-node topology, a seeded
+// subset of nodes becomes the candidate data centers, the remainder become
+// clients; clients access the object (closest replica first) during an
+// observation phase that feeds the per-replica summarizers; every placement
+// strategy then proposes replica locations from the information it is
+// allowed to see; finally each proposal is scored by the ground-truth
+// average access delay over the same client population. Results are
+// averaged over `runs` independent runs (the paper uses 30).
+//
+// The topology and its coordinate embedding are computed once per
+// Environment and shared across runs and parameter sweeps, exactly as the
+// paper reuses its one PlanetLab matrix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/summarizer.h"
+#include "common/stats.h"
+#include "netcoord/embedding.h"
+#include "placement/strategy.h"
+#include "topology/planetlab_model.h"
+
+namespace geored::core {
+
+/// Which decentralized coordinate system assigns node coordinates.
+enum class CoordSystem { kRnp, kVivaldi, kGnp };
+
+std::string coord_system_name(CoordSystem system);
+
+/// Shared, immutable per-experiment state: ground-truth topology plus the
+/// coordinate embedding every node would carry in the running system.
+class Environment {
+ public:
+  Environment(const topo::PlanetLabModelConfig& topology_config, std::uint64_t topology_seed,
+              CoordSystem coord_system, const coord::GossipConfig& gossip,
+              std::uint64_t embedding_seed = 7);
+
+  const topo::Topology& topology() const { return topology_; }
+  const std::vector<coord::NetworkCoordinate>& coordinates() const { return coords_; }
+  CoordSystem coord_system() const { return coord_system_; }
+
+  /// Prediction quality of the embedding (for reporting).
+  coord::EmbeddingQuality embedding_quality() const;
+
+ private:
+  topo::Topology topology_;
+  CoordSystem coord_system_;
+  std::vector<coord::NetworkCoordinate> coords_;
+};
+
+struct ExperimentConfig {
+  std::size_t num_datacenters = 20;  ///< candidate replica locations
+  std::size_t k = 3;                 ///< target degree of replication
+  std::size_t micro_clusters = 4;    ///< m, per replica
+  std::size_t runs = 30;             ///< independent runs to average over
+  std::uint64_t base_seed = 1000;    ///< run r uses base_seed + r
+
+  /// Observation-phase workload: per-client access counts are Poisson with
+  /// a lognormal-spread mean.
+  double mean_accesses_per_client = 100.0;
+  double access_spread_sigma = 0.5;
+
+  /// Absorb-radius floor handed to the per-replica summarizers.
+  double summarizer_min_radius_ms = 5.0;
+
+  /// Number of replicas a client must reach (1 = the paper's model).
+  std::size_t quorum = 1;
+
+  /// Worker threads running independent runs concurrently. Results are
+  /// bit-identical for any thread count (run r always uses base_seed + r
+  /// and results are collected by run index). 0 = hardware concurrency.
+  std::size_t threads = 1;
+
+  std::vector<place::StrategyKind> strategies = {
+      place::StrategyKind::kRandom, place::StrategyKind::kOfflineKMeans,
+      place::StrategyKind::kOnlineClustering, place::StrategyKind::kOptimal};
+};
+
+struct StrategyOutcome {
+  place::StrategyKind kind{};
+  std::string name;
+  std::vector<double> per_run_delay_ms;  ///< true average delay, one per run
+  Summary average_delay_ms;              ///< summary over the runs
+};
+
+struct ExperimentResult {
+  std::vector<StrategyOutcome> outcomes;
+
+  /// Mean average-delay of a strategy; throws if it was not part of the run.
+  double mean_of(place::StrategyKind kind) const;
+  const StrategyOutcome& outcome_of(place::StrategyKind kind) const;
+};
+
+/// Runs the full multi-run experiment. Deterministic in (env, config).
+ExperimentResult run_experiment(const Environment& env, const ExperimentConfig& config);
+
+/// Convenience overload that builds a default RNP environment internally.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace geored::core

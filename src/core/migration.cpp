@@ -1,0 +1,44 @@
+#include "core/migration.h"
+
+#include <sstream>
+
+#include "common/ensure.h"
+
+namespace geored::core {
+
+MigrationDecision decide_migration(const MigrationPolicy& policy, double old_delay_ms,
+                                   double new_delay_ms, std::size_t replicas_moved) {
+  GEORED_ENSURE(old_delay_ms >= 0.0 && new_delay_ms >= 0.0, "delays must be non-negative");
+  MigrationDecision decision;
+  decision.gain_ms = old_delay_ms - new_delay_ms;
+  decision.relative_gain = old_delay_ms > 0.0 ? decision.gain_ms / old_delay_ms : 0.0;
+  decision.cost_usd =
+      static_cast<double>(replicas_moved) * policy.object_size_gb * policy.cost_per_gb_usd;
+
+  std::ostringstream reason;
+  if (replicas_moved == 0) {
+    decision.migrate = false;
+    reason << "proposal equals current placement";
+  } else if (decision.gain_ms < policy.min_absolute_gain_ms) {
+    decision.migrate = false;
+    reason << "gain " << decision.gain_ms << " ms below absolute floor "
+           << policy.min_absolute_gain_ms << " ms";
+  } else if (decision.relative_gain < policy.min_relative_gain) {
+    decision.migrate = false;
+    reason << "relative gain " << decision.relative_gain << " below threshold "
+           << policy.min_relative_gain;
+  } else if (policy.max_usd_per_ms_gain > 0.0 &&
+             decision.cost_usd > policy.max_usd_per_ms_gain * decision.gain_ms) {
+    decision.migrate = false;
+    reason << "cost $" << decision.cost_usd << " exceeds $" << policy.max_usd_per_ms_gain
+           << " per ms of gain";
+  } else {
+    decision.migrate = true;
+    reason << "gain " << decision.gain_ms << " ms (" << decision.relative_gain * 100.0
+           << "%) for $" << decision.cost_usd;
+  }
+  decision.reason = reason.str();
+  return decision;
+}
+
+}  // namespace geored::core

@@ -1,0 +1,45 @@
+// Migration cost/benefit policy (paper §III-C).
+//
+// "Since the cost of migrating data may not be ignored (e.g., $.1 per GB),
+// our approach carries out data migration only when the gain in the quality
+// of service compared to the migration cost is higher than a certain
+// threshold." This module makes that rule concrete and testable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace geored::core {
+
+struct MigrationPolicy {
+  /// Size of the replicated object, GB (drives the dollar cost of a move).
+  double object_size_gb = 1.0;
+  /// Transfer price, USD per GB (the paper cites Amazon's 2011 $0.10/GB).
+  double cost_per_gb_usd = 0.10;
+
+  /// Relative per-access latency improvement required, e.g. 0.05 = 5%.
+  double min_relative_gain = 0.05;
+  /// Absolute per-access improvement floor, ms. Both gates must pass.
+  double min_absolute_gain_ms = 1.0;
+
+  /// Cost gate: maximum dollars per millisecond of per-access improvement;
+  /// 0 disables the gate. With it enabled, moving many replicas for a small
+  /// gain is rejected even if the relative gates pass.
+  double max_usd_per_ms_gain = 0.0;
+};
+
+struct MigrationDecision {
+  bool migrate = false;
+  double gain_ms = 0.0;        ///< old minus new estimated per-access delay
+  double relative_gain = 0.0;  ///< gain / old delay
+  double cost_usd = 0.0;       ///< replicas_moved * size * price
+  std::string reason;          ///< human-readable explanation
+};
+
+/// Decides whether replacing the current placement (estimated per-access
+/// delay `old_delay_ms`) with a proposal (`new_delay_ms`) that requires
+/// copying the object to `replicas_moved` new sites is worth it.
+MigrationDecision decide_migration(const MigrationPolicy& policy, double old_delay_ms,
+                                   double new_delay_ms, std::size_t replicas_moved);
+
+}  // namespace geored::core

@@ -1,0 +1,261 @@
+#include "core/replication_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/ensure.h"
+#include "common/random.h"
+#include "common/serialize.h"
+#include "placement/evaluate.h"
+#include "placement/random_placement.h"
+
+namespace geored::core {
+
+ReplicationManager::ReplicationManager(std::vector<place::CandidateInfo> candidates,
+                                       ManagerConfig config, std::uint64_t seed)
+    : candidates_(std::move(candidates)),
+      config_(config),
+      seed_(seed),
+      degree_(config.replication_degree) {
+  GEORED_ENSURE(!candidates_.empty(), "manager needs at least one candidate data center");
+  GEORED_ENSURE(config_.replication_degree >= 1, "replication degree must be >= 1");
+  GEORED_ENSURE(config_.min_degree >= 1 && config_.min_degree <= config_.max_degree,
+                "degree bounds must satisfy 1 <= min <= max");
+  degree_ = std::clamp(degree_, config_.min_degree, config_.max_degree);
+
+  place::PlacementInput input;
+  input.candidates = candidates_;
+  input.k = degree_;
+  input.seed = seed_;
+  placement_ = place::RandomPlacement().place(input);
+  for (const auto node : placement_) {
+    summarizers_.emplace(node, cluster::MicroClusterSummarizer(config_.summarizer));
+  }
+}
+
+const place::CandidateInfo& ReplicationManager::candidate_info(topo::NodeId node) const {
+  const auto it = std::find_if(candidates_.begin(), candidates_.end(),
+                               [node](const place::CandidateInfo& c) { return c.node == node; });
+  GEORED_ENSURE(it != candidates_.end(), "node is not a candidate data center");
+  return *it;
+}
+
+topo::NodeId ReplicationManager::serve(const Point& client_coords, double data_weight) {
+  GEORED_CHECK(!placement_.empty(), "manager has no replicas");
+  topo::NodeId best = placement_.front();
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const auto node : placement_) {
+    const double dist = client_coords.distance_squared_to(candidate_info(node).coords);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = node;
+    }
+  }
+  record_access(best, client_coords, data_weight);
+  return best;
+}
+
+void ReplicationManager::record_access(topo::NodeId replica, const Point& client_coords,
+                                       double data_weight) {
+  const auto it = summarizers_.find(replica);
+  GEORED_ENSURE(it != summarizers_.end(), "node does not currently hold a replica");
+  it->second.add(client_coords, data_weight);
+  ++epoch_accesses_;
+}
+
+const std::vector<cluster::MicroCluster>& ReplicationManager::summary_of(
+    topo::NodeId replica) const {
+  const auto it = summarizers_.find(replica);
+  GEORED_ENSURE(it != summarizers_.end(), "node does not currently hold a replica");
+  return it->second.clusters();
+}
+
+double ReplicationManager::estimate_average_delay(
+    const place::Placement& placement,
+    const std::vector<cluster::MicroCluster>& summaries) const {
+  // Per-access delay estimated from the summaries themselves: each
+  // micro-cluster's population is assumed to sit at its centroid and read
+  // from the nearest replica (in coordinate space).
+  double total = 0.0, accesses = 0.0;
+  for (const auto& micro : summaries) {
+    if (micro.count() == 0) continue;
+    const Point centroid = micro.centroid();
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto node : placement) {
+      best = std::min(best, centroid.distance_to(candidate_info(node).coords));
+    }
+    total += best * static_cast<double>(micro.count());
+    accesses += static_cast<double>(micro.count());
+  }
+  return accesses > 0.0 ? total / accesses : 0.0;
+}
+
+void ReplicationManager::adopt_placement(const place::Placement& next,
+                                         const std::vector<cluster::MicroCluster>& summaries) {
+  // Rebuild the per-replica summarizers, handing each existing micro-cluster
+  // to the new replica closest to its centroid so usage knowledge survives
+  // the move.
+  std::map<topo::NodeId, cluster::MicroClusterSummarizer> fresh;
+  for (const auto node : next) {
+    fresh.emplace(node, cluster::MicroClusterSummarizer(config_.summarizer));
+  }
+  placement_ = next;
+  summarizers_ = std::move(fresh);
+  for (const auto& micro : summaries) {
+    if (micro.count() == 0) continue;
+    const Point centroid = micro.centroid();
+    topo::NodeId best = placement_.front();
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (const auto node : placement_) {
+      const double dist = centroid.distance_squared_to(candidate_info(node).coords);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = node;
+      }
+    }
+    summarizers_.at(best).merge_cluster(micro);
+  }
+}
+
+void ReplicationManager::maybe_adjust_degree() {
+  if (!config_.dynamic_degree) return;
+  const auto accesses = static_cast<double>(epoch_accesses_);
+  const auto replicas = static_cast<double>(degree_);
+  if (accesses > config_.grow_accesses_per_replica * replicas &&
+      degree_ < config_.max_degree) {
+    ++degree_;
+  } else if (accesses < config_.shrink_accesses_per_replica * replicas &&
+             degree_ > config_.min_degree) {
+    --degree_;
+  }
+}
+
+void ReplicationManager::save(ByteWriter& writer) const {
+  writer.write_u64(epoch_index_);
+  writer.write_u64(epoch_accesses_);
+  writer.write_u64(degree_);
+  writer.write_u32(static_cast<std::uint32_t>(placement_.size()));
+  for (const auto node : placement_) writer.write_u32(node);
+  for (const auto node : placement_) {
+    summarizers_.at(node).serialize(writer);
+  }
+  writer.write_u32(static_cast<std::uint32_t>(last_macro_centroids_.size()));
+  for (const auto& centroid : last_macro_centroids_) {
+    writer.write_f64_vector(centroid.values());
+  }
+}
+
+void ReplicationManager::restore(ByteReader& reader) {
+  const std::uint64_t epoch_index = reader.read_u64();
+  const std::uint64_t epoch_accesses = reader.read_u64();
+  const auto degree = static_cast<std::size_t>(reader.read_u64());
+  GEORED_ENSURE(degree >= 1, "corrupt checkpoint: zero degree");
+  const std::uint32_t placement_size = reader.read_u32();
+  place::Placement placement;
+  placement.reserve(placement_size);
+  for (std::uint32_t i = 0; i < placement_size; ++i) {
+    const topo::NodeId node = reader.read_u32();
+    candidate_info(node);  // throws for unknown candidates
+    placement.push_back(node);
+  }
+  std::map<topo::NodeId, cluster::MicroClusterSummarizer> summarizers;
+  for (const auto node : placement) {
+    cluster::MicroClusterSummarizer summarizer(config_.summarizer);
+    for (const auto& micro : cluster::MicroClusterSummarizer::deserialize_clusters(reader)) {
+      summarizer.merge_cluster(micro);
+    }
+    summarizers.emplace(node, std::move(summarizer));
+  }
+  const std::uint32_t centroid_count = reader.read_u32();
+  std::vector<Point> centroids;
+  centroids.reserve(centroid_count);
+  for (std::uint32_t i = 0; i < centroid_count; ++i) {
+    centroids.emplace_back(reader.read_f64_vector());
+  }
+  // All parsed and validated: commit.
+  epoch_index_ = epoch_index;
+  epoch_accesses_ = epoch_accesses;
+  degree_ = degree;
+  placement_ = std::move(placement);
+  summarizers_ = std::move(summarizers);
+  last_macro_centroids_ = std::move(centroids);
+}
+
+EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded) {
+  EpochReport report;
+  report.old_placement = placement_;
+  report.epoch_accesses = epoch_accesses_;
+
+  // Candidates usable this epoch.
+  std::vector<place::CandidateInfo> usable;
+  usable.reserve(candidates_.size());
+  for (const auto& candidate : candidates_) {
+    if (!excluded.contains(candidate.node)) usable.push_back(candidate);
+  }
+  GEORED_ENSURE(!usable.empty(), "every candidate data center is excluded");
+  bool current_placement_impaired = false;
+  for (const auto node : placement_) {
+    if (excluded.contains(node)) current_placement_impaired = true;
+  }
+
+  // 1. Collect summaries from every replica (and account their wire size —
+  //    this is the O(km) bandwidth of Table II).
+  std::vector<cluster::MicroCluster> summaries;
+  ByteWriter writer;
+  for (const auto& [node, summarizer] : summarizers_) {
+    summarizer.serialize(writer);
+    for (const auto& micro : summarizer.clusters()) summaries.push_back(micro);
+  }
+  report.summary_bytes = writer.size();
+
+  // 2. Demand-adaptive degree.
+  maybe_adjust_degree();
+  report.degree = degree_;
+
+  // 3. Propose a placement via Algorithm 1 over the usable candidates.
+  place::PlacementInput input;
+  input.candidates = usable;
+  input.k = degree_;
+  input.summaries = summaries;
+  input.seed = seed_ ^ (0x9e3779b97f4a7c15ULL + epoch_index_);
+  place::OnlineClusteringConfig strategy_config = config_.strategy;
+  if (config_.warm_start_macro_clusters) {
+    strategy_config.warm_start_centroids = last_macro_centroids_;
+  }
+  place::OnlineClusteringPlacement strategy(strategy_config);
+  auto details = strategy.place_detailed(input);
+  report.proposed_placement = std::move(details.placement);
+  last_macro_centroids_ = std::move(details.macro_centroids);
+
+  // 4. Migration gate.
+  report.old_estimated_delay_ms = estimate_average_delay(placement_, summaries);
+  report.new_estimated_delay_ms =
+      estimate_average_delay(report.proposed_placement, summaries);
+  std::size_t moved = 0;
+  for (const auto node : report.proposed_placement) {
+    if (std::find(placement_.begin(), placement_.end(), node) == placement_.end()) ++moved;
+  }
+  report.replicas_moved = moved;
+  report.decision = decide_migration(config_.migration, report.old_estimated_delay_ms,
+                                     report.new_estimated_delay_ms, moved);
+
+  // A degree change must be applied even if the gate rejects the proposal's
+  // quality gain; in that case adopt the proposal anyway (capacity change
+  // dominates cost considerations here, as in the paper's discussion).
+  // Likewise when a current replica sits on an excluded (failed) data
+  // center: availability overrides the cost gate.
+  const bool degree_changed = report.proposed_placement.size() != placement_.size();
+  if (report.decision.migrate || degree_changed || current_placement_impaired) {
+    adopt_placement(report.proposed_placement, summaries);
+  } else {
+    // Age the retained summaries so stale populations fade (recency).
+    for (auto& [node, summarizer] : summarizers_) summarizer.decay();
+  }
+  report.adopted_placement = placement_;
+
+  epoch_accesses_ = 0;
+  ++epoch_index_;
+  return report;
+}
+
+}  // namespace geored::core

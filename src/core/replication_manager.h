@@ -1,0 +1,144 @@
+// ReplicationManager: the library's primary public API.
+//
+// One manager governs the replicas of one data object (or one group of
+// objects treated as a virtual object, Section II-A). It maintains the
+// paper's machinery end to end:
+//
+//   * a micro-cluster summarizer per current replica (Section III-B),
+//   * periodic macro-clustering placement proposals (Algorithm 1),
+//   * the migration cost/benefit gate (Section III-C),
+//   * optional demand-driven adjustment of the replication degree k.
+//
+// The manager is deliberately transport-agnostic: callers route client
+// accesses to it (serve / record_access) and invoke run_epoch() on whatever
+// schedule they like. `core/system.h` wires it into the discrete-event
+// simulator; a real deployment would wire it to RPC handlers the same way.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/summarizer.h"
+#include "common/serialize.h"
+#include "core/migration.h"
+#include "placement/online_clustering.h"
+#include "placement/types.h"
+
+namespace geored::core {
+
+struct ManagerConfig {
+  /// Target degree of replication (the paper's k).
+  std::size_t replication_degree = 3;
+
+  /// Per-replica summarizer parameters (the paper's m etc.).
+  cluster::SummarizerConfig summarizer;
+
+  /// Macro-clustering parameters (Algorithm 1).
+  place::OnlineClusteringConfig strategy;
+
+  /// Migration cost/benefit gate.
+  MigrationPolicy migration;
+
+  /// Feed each epoch's macro-cluster centroids into the next epoch as a
+  /// k-means warm start, so stable populations produce stable proposals
+  /// instead of churning with seeding randomness.
+  bool warm_start_macro_clusters = true;
+
+  /// Demand-adaptive degree (paper §III-C: "vary the number of replicas ...
+  /// as the demand of an object increases/decreases"). When enabled, the
+  /// degree grows by one when the epoch's accesses exceed
+  /// grow_accesses_per_replica * degree, and shrinks by one when they fall
+  /// below shrink_accesses_per_replica * degree.
+  bool dynamic_degree = false;
+  double grow_accesses_per_replica = 10000.0;
+  double shrink_accesses_per_replica = 1000.0;
+  std::size_t min_degree = 1;
+  std::size_t max_degree = 7;
+};
+
+/// Outcome of one placement epoch.
+struct EpochReport {
+  place::Placement old_placement;
+  place::Placement proposed_placement;
+  place::Placement adopted_placement;  ///< == old unless migrated
+  double old_estimated_delay_ms = 0.0; ///< summary-estimated per-access delay
+  double new_estimated_delay_ms = 0.0;
+  MigrationDecision decision;
+  std::size_t replicas_moved = 0;      ///< sites added by the proposal
+  std::size_t summary_bytes = 0;       ///< wire size of shipped summaries
+  std::uint64_t epoch_accesses = 0;    ///< accesses summarized this epoch
+  std::size_t degree = 0;              ///< k in force after the epoch
+};
+
+class ReplicationManager {
+ public:
+  /// `candidates` are the usable data centers (with coordinates); the
+  /// initial placement is a seeded random choice of k of them, exactly like
+  /// a location-oblivious system would start.
+  ReplicationManager(std::vector<place::CandidateInfo> candidates, ManagerConfig config,
+                     std::uint64_t seed);
+
+  const place::Placement& placement() const { return placement_; }
+  std::size_t degree() const { return degree_; }
+
+  /// Chooses the replica that can serve a client at `client_coords` with the
+  /// lowest estimated latency, records the access, and returns the replica.
+  topo::NodeId serve(const Point& client_coords, double data_weight = 1.0);
+
+  /// Records an access served by `replica` (which must currently hold a
+  /// replica) for a client at `client_coords`. Use this form when the caller
+  /// did its own replica selection (e.g. the event-driven simulator).
+  void record_access(topo::NodeId replica, const Point& client_coords,
+                     double data_weight = 1.0);
+
+  /// Micro-clusters currently held for `replica` (observability / tests).
+  const std::vector<cluster::MicroCluster>& summary_of(topo::NodeId replica) const;
+
+  /// Runs one placement epoch: collect summaries, propose a placement,
+  /// apply the migration gate, adopt + redistribute summaries on success,
+  /// then age all summaries. Deterministic in construction seed and the
+  /// sequence of recorded accesses.
+  ///
+  /// `excluded` lists candidates that must not host replicas this epoch
+  /// (e.g. data centers currently failed). If the *current* placement
+  /// contains an excluded node, the proposal is adopted unconditionally —
+  /// availability overrides the migration cost gate.
+  EpochReport run_epoch(const std::set<topo::NodeId>& excluded = {});
+
+  /// Accesses recorded since the last epoch.
+  std::uint64_t epoch_accesses() const { return epoch_accesses_; }
+
+  /// Serializes the full mutable state (placement, degree, per-replica
+  /// summaries, epoch counters) so a coordinator can checkpoint and a
+  /// stand-by can resume without losing the learned usage knowledge.
+  void save(ByteWriter& writer) const;
+
+  /// Restores state saved by save(). The manager must have been constructed
+  /// with the same candidates and configuration; restoring a placement that
+  /// references unknown candidates throws and leaves the manager unchanged.
+  void restore(ByteReader& reader);
+
+ private:
+  double estimate_average_delay(const place::Placement& placement,
+                                const std::vector<cluster::MicroCluster>& summaries) const;
+  void adopt_placement(const place::Placement& next,
+                       const std::vector<cluster::MicroCluster>& summaries);
+  const place::CandidateInfo& candidate_info(topo::NodeId node) const;
+  void maybe_adjust_degree();
+
+  std::vector<place::CandidateInfo> candidates_;
+  ManagerConfig config_;
+  std::uint64_t seed_;
+  std::uint64_t epoch_index_ = 0;
+  std::size_t degree_;
+  place::Placement placement_;
+  std::map<topo::NodeId, cluster::MicroClusterSummarizer> summarizers_;
+  std::vector<Point> last_macro_centroids_;
+  std::uint64_t epoch_accesses_ = 0;
+};
+
+}  // namespace geored::core

@@ -1,0 +1,9 @@
+#include "netcoord/coordinate.h"
+
+namespace geored::coord {
+
+double predicted_rtt_ms(const NetworkCoordinate& a, const NetworkCoordinate& b) {
+  return a.position.distance_to(b.position) + a.height + b.height;
+}
+
+}  // namespace geored::coord

@@ -1,0 +1,25 @@
+// Network coordinates: points in a low-dimensional Euclidean space augmented
+// with a "height" (Dabek et al., SIGCOMM'04) modelling access-link delay.
+// Predicted RTT between two nodes is the Euclidean distance between their
+// positions plus both heights.
+#pragma once
+
+#include "common/point.h"
+
+namespace geored::coord {
+
+struct NetworkCoordinate {
+  Point position;       ///< position in the Euclidean part of the space
+  double height = 0.0;  ///< non-negative access-link component (ms)
+  double error = 1.0;   ///< local relative-error estimate in [0, ~1+]
+
+  NetworkCoordinate() = default;
+  explicit NetworkCoordinate(std::size_t dim) : position(dim) {}
+  NetworkCoordinate(Point pos, double h) : position(std::move(pos)), height(h) {}
+};
+
+/// Predicted RTT (ms) between two coordinates:
+/// ||a.position - b.position|| + a.height + b.height.
+double predicted_rtt_ms(const NetworkCoordinate& a, const NetworkCoordinate& b);
+
+}  // namespace geored::coord

@@ -1,0 +1,53 @@
+// Shared gossip loop for decentralized coordinate protocols (implementation
+// detail of embedding.cpp and stability.cpp).
+//
+// Each node keeps a fixed random neighbor set and, once per round, probes
+// either a neighbor or (with far_probe_probability) a uniformly random node
+// — Vivaldi's recommended mix of stable nearby contacts and occasional far
+// pokes. `round_hook(round)` runs after every completed round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ensure.h"
+#include "common/random.h"
+#include "netcoord/embedding.h"
+#include "topology/topology.h"
+
+namespace geored::coord::detail {
+
+template <typename NodeVector, typename RoundHook>
+void run_gossip(const topo::Topology& topology, NodeVector& nodes,
+                const GossipConfig& gossip, std::uint64_t seed, RoundHook&& round_hook) {
+  const std::size_t n = topology.size();
+  GEORED_ENSURE(n >= 2, "gossip needs at least two nodes");
+  Rng rng(seed);
+
+  const std::size_t neighbors_per_node = std::min(gossip.neighbor_set_size, n - 1);
+  std::vector<std::vector<topo::NodeId>> neighbor_sets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto sample = rng.sample_without_replacement(n - 1, neighbors_per_node);
+    for (auto idx : sample) {
+      // Map [0, n-1) onto node ids skipping i.
+      neighbor_sets[i].push_back(static_cast<topo::NodeId>(idx >= i ? idx + 1 : idx));
+    }
+  }
+
+  for (std::size_t round = 0; round < gossip.rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      topo::NodeId peer;
+      if (!neighbor_sets[i].empty() && !rng.bernoulli(gossip.far_probe_probability)) {
+        peer = neighbor_sets[i][rng.below(neighbor_sets[i].size())];
+      } else {
+        std::size_t p = rng.below(n - 1);
+        peer = static_cast<topo::NodeId>(p >= i ? p + 1 : p);
+      }
+      const double rtt = topology.rtt_ms(static_cast<topo::NodeId>(i), peer);
+      nodes[i].observe(nodes[peer].coordinate(), rtt);
+    }
+    round_hook(round);
+  }
+}
+
+}  // namespace geored::coord::detail

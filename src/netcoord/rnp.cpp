@@ -1,0 +1,124 @@
+#include "netcoord/rnp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace geored::coord {
+
+RnpNode::RnpNode(const RnpConfig& config, std::uint32_t node_id)
+    : VivaldiNode(config.vivaldi, node_id), rnp_config_(config) {
+  GEORED_ENSURE(config.window_size >= 2, "RNP window must hold at least two samples");
+  GEORED_ENSURE(config.refit_every >= 1, "refit_every must be at least 1");
+  GEORED_ENSURE(config.recency_decay > 0.0 && config.recency_decay <= 1.0,
+                "recency_decay must be in (0,1]");
+}
+
+void RnpNode::observe(const NetworkCoordinate& remote, double rtt_ms) {
+  if (!(rtt_ms > 0.0)) return;
+  window_.push_back({remote, rtt_ms, observation_count_});
+  if (window_.size() > rnp_config_.window_size) window_.pop_front();
+  ++observation_count_;
+
+  // Online Vivaldi step keeps the coordinate moving between refits, but its
+  // gain shrinks as this node's own error estimate falls: a reliable
+  // coordinate should not chase individual samples — the retrospective
+  // refit makes the considered adjustments. (This is the stability half of
+  // RNP's "consume information according to its reliability".)
+  const double base_cc = config_.cc;
+  config_.cc = std::clamp(base_cc * coord_.error, 0.01, base_cc);
+  vivaldi_step(remote, rtt_ms);
+  config_.cc = base_cc;
+  ++samples_;
+
+  if (observation_count_ % rnp_config_.refit_every == 0 && window_.size() >= 4) {
+    refit();
+  }
+}
+
+void RnpNode::refit() {
+  const bool use_height = config_.use_height;
+  const std::size_t dim = coord_.position.dim();
+
+  // Reliability x recency weight per retained sample. Reliability is the
+  // inverse of the peer's own error estimate at observation time — samples
+  // from well-converged peers steer the fit more.
+  std::vector<double> weights(window_.size());
+  double mean_rtt = 0.0;
+  const std::uint64_t now = observation_count_;
+  for (std::size_t s = 0; s < window_.size(); ++s) {
+    const auto& sample = window_[s];
+    const double age = static_cast<double>(now - 1 - sample.seq);
+    const double reliability = 1.0 / std::clamp(sample.remote.error, 0.05, config_.max_error);
+    weights[s] = std::pow(rnp_config_.recency_decay, age) * reliability;
+    mean_rtt += sample.rtt_ms;
+  }
+  mean_rtt /= static_cast<double>(window_.size());
+
+  Point position = coord_.position;
+  double height = coord_.height;
+
+  const auto objective = [&](const Point& pos, double h) {
+    double total = 0.0, weight_sum = 0.0;
+    for (std::size_t s = 0; s < window_.size(); ++s) {
+      const auto& sample = window_[s];
+      const double pred = pos.distance_to(sample.remote.position) +
+                          (use_height ? h + sample.remote.height : 0.0);
+      const double rel = (pred - sample.rtt_ms) / sample.rtt_ms;
+      total += weights[s] * rel * rel;
+      weight_sum += weights[s];
+    }
+    return weight_sum > 0 ? total / weight_sum : 0.0;
+  };
+
+  double best_obj = objective(position, height);
+  Point best_position = position;
+  double best_height = height;
+
+  for (std::size_t step = 0; step < rnp_config_.descent_steps; ++step) {
+    // Weighted gradient of the relative squared error.
+    Point grad(dim);
+    double grad_h = 0.0;
+    double weight_sum = 0.0;
+    for (std::size_t s = 0; s < window_.size(); ++s) {
+      const auto& sample = window_[s];
+      const double spatial = position.distance_to(sample.remote.position);
+      const double pred = spatial + (use_height ? height + sample.remote.height : 0.0);
+      const double coeff =
+          weights[s] * 2.0 * (pred - sample.rtt_ms) / (sample.rtt_ms * sample.rtt_ms);
+      if (spatial > 1e-9) {
+        grad += (position - sample.remote.position) * (coeff / spatial);
+      }
+      if (use_height) grad_h += coeff;
+      weight_sum += weights[s];
+    }
+    if (weight_sum <= 0.0) break;
+    grad /= weight_sum;
+    grad_h /= weight_sum;
+
+    const double grad_norm = std::sqrt(grad.norm_squared() + grad_h * grad_h);
+    if (grad_norm < 1e-12) break;
+
+    // Diminishing normalized step, scaled to the window's RTT magnitude.
+    const double step_size = rnp_config_.learning_rate * mean_rtt /
+                             (1.0 + static_cast<double>(step)) / grad_norm;
+    position -= grad * step_size;
+    if (use_height) height = std::max(0.0, height - grad_h * step_size);
+
+    const double obj = objective(position, height);
+    if (obj < best_obj) {
+      best_obj = obj;
+      best_position = position;
+      best_height = height;
+    }
+  }
+
+  coord_.position = best_position;
+  coord_.height = best_height;
+  // The refit objective is the weighted mean squared relative error; its
+  // square root is the natural successor of Vivaldi's error estimate.
+  coord_.error = std::min(config_.max_error, std::sqrt(best_obj));
+}
+
+}  // namespace geored::coord

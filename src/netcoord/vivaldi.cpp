@@ -1,0 +1,67 @@
+#include "netcoord/vivaldi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace geored::coord {
+
+VivaldiNode::VivaldiNode(const VivaldiConfig& config, std::uint32_t node_id)
+    : config_(config), coord_(config.dimensions), node_id_(node_id) {
+  GEORED_ENSURE(config.dimensions >= 1, "Vivaldi needs at least one dimension");
+  GEORED_ENSURE(config.ce > 0 && config.ce <= 1, "ce must be in (0,1]");
+  GEORED_ENSURE(config.cc > 0 && config.cc <= 1, "cc must be in (0,1]");
+  coord_.error = config.initial_error;
+  if (config.use_height) {
+    GEORED_ENSURE(config.initial_height > 0.0,
+                  "initial_height must be positive when the height model is on");
+    coord_.height = config.initial_height;
+  }
+}
+
+void VivaldiNode::observe(const NetworkCoordinate& remote, double rtt_ms) {
+  if (!(rtt_ms > 0.0)) return;  // drop non-positive / NaN samples
+  vivaldi_step(remote, rtt_ms);
+  ++samples_;
+}
+
+void VivaldiNode::vivaldi_step(const NetworkCoordinate& remote, double rtt_ms) {
+  const double spatial_dist = coord_.position.distance_to(remote.position);
+  const double predicted = spatial_dist + (config_.use_height ? coord_.height + remote.height : 0.0);
+
+  // Confidence weight: how much of the blame for the prediction error this
+  // node takes, based on the two error estimates.
+  const double remote_error = std::clamp(remote.error, 1e-6, config_.max_error);
+  const double local_error = std::clamp(coord_.error, 1e-6, config_.max_error);
+  const double w = local_error / (local_error + remote_error);
+
+  // Update the moving relative-error estimate.
+  const double sample_error = std::abs(predicted - rtt_ms) / rtt_ms;
+  coord_.error = std::min(config_.max_error,
+                          sample_error * config_.ce * w + coord_.error * (1.0 - config_.ce * w));
+
+  // Spring force: positive when the prediction is too short (push apart).
+  const double delta = config_.cc * w;
+  const double force = delta * (rtt_ms - predicted);
+
+  // Direction away from the remote node; the height axis always participates
+  // with the combined-height share of the augmented norm (Vivaldi §5.4).
+  const Point unit = coord_.position.unit_vector_from(remote.position, node_id_);
+  if (config_.use_height) {
+    const double combined_height = coord_.height + remote.height;
+    const double augmented_norm = spatial_dist + combined_height;
+    if (augmented_norm > 1e-9) {
+      const double spatial_share = spatial_dist / augmented_norm;
+      const double height_share = combined_height / augmented_norm;
+      coord_.position += unit * (force * spatial_share);
+      coord_.height = std::max(0.0, coord_.height + force * height_share);
+    } else {
+      coord_.position += unit * force;
+    }
+  } else {
+    coord_.position += unit * force;
+  }
+}
+
+}  // namespace geored::coord

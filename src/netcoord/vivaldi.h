@@ -1,0 +1,56 @@
+// Vivaldi (Dabek et al., SIGCOMM'04): a decentralized spring-relaxation
+// network coordinate system. Each node adjusts its own coordinate after every
+// RTT sample to a peer, weighting the adjustment by the relative confidence
+// of the two nodes. Implemented with the height-vector extension.
+#pragma once
+
+#include <cstdint>
+
+#include "netcoord/coordinate.h"
+
+namespace geored::coord {
+
+struct VivaldiConfig {
+  std::size_t dimensions = 5;
+  double ce = 0.25;         ///< error-estimate smoothing gain
+  double cc = 0.25;         ///< coordinate adjustment gain
+  /// Model access links as a height component (Vivaldi §5.4). Helps when
+  /// per-node access delay dominates prediction error (DSL-heavy client
+  /// populations); on WAN matrices whose error is mostly multiplicative
+  /// path inflation the heights soak up that noise instead and *hurt*
+  /// accuracy, so the model is opt-in.
+  bool use_height = false;
+  /// Starting height (ms). Must be positive when use_height is set: height
+  /// updates are proportional to the current combined height, so a node
+  /// starting at exactly zero could never acquire one.
+  double initial_height = 1.0;
+  double initial_error = 1.0;
+  double max_error = 1.5;   ///< error estimates are clamped to this ceiling
+};
+
+/// The per-node state machine of the Vivaldi protocol.
+class VivaldiNode {
+ public:
+  VivaldiNode(const VivaldiConfig& config, std::uint32_t node_id);
+
+  /// Processes one RTT measurement against a peer whose current coordinate is
+  /// `remote`. Updates this node's coordinate and error estimate.
+  /// `rtt_ms` must be positive; non-positive samples are ignored.
+  void observe(const NetworkCoordinate& remote, double rtt_ms);
+
+  const NetworkCoordinate& coordinate() const { return coord_; }
+
+  /// Number of samples consumed so far.
+  std::uint64_t samples() const { return samples_; }
+
+ protected:
+  /// Core spring-relaxation step, shared with the RNP bootstrap phase.
+  void vivaldi_step(const NetworkCoordinate& remote, double rtt_ms);
+
+  VivaldiConfig config_;
+  NetworkCoordinate coord_;
+  std::uint32_t node_id_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace geored::coord

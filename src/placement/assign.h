@@ -1,0 +1,31 @@
+// Shared final step of all clustering-based strategies: map cluster
+// centroids to *distinct* candidate data centers (Algorithm 1, lines 3-5),
+// optionally respecting per-candidate capacity (load-aware extension).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point.h"
+#include "placement/types.h"
+
+namespace geored::place {
+
+/// Maps each centroid, in order of descending `priorities` (typically the
+/// cluster's access mass), to the nearest not-yet-used candidate.
+///
+/// When `demands` is supplied (one entry per centroid, same order as
+/// `centroids`), a candidate is only eligible while its remaining capacity
+/// covers the centroid's demand; if no candidate has capacity left the
+/// nearest unused one is taken anyway (serving degraded beats not serving).
+///
+/// If fewer centroids than k are supplied, the remaining slots are filled
+/// with unused candidates chosen uniformly at random (seeded) — the
+/// information-free fallback.
+Placement assign_centroids_to_candidates(const std::vector<Point>& centroids,
+                                         const std::vector<double>& priorities,
+                                         const std::vector<CandidateInfo>& candidates,
+                                         std::size_t k, std::uint64_t seed,
+                                         const std::vector<double>* demands = nullptr);
+
+}  // namespace geored::place

@@ -1,0 +1,92 @@
+#include "placement/evaluate.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/ensure.h"
+
+namespace geored::place {
+
+namespace {
+
+/// q-th smallest of `latencies` (1-based q). Small vectors: partial sort.
+double quorum_latency(std::vector<double>& latencies, std::size_t quorum) {
+  GEORED_ENSURE(quorum >= 1 && quorum <= latencies.size(),
+                "quorum must be within [1, #replicas]");
+  std::nth_element(latencies.begin(), latencies.begin() + static_cast<std::ptrdiff_t>(quorum - 1),
+                   latencies.end());
+  return latencies[quorum - 1];
+}
+
+}  // namespace
+
+double true_total_delay(const topo::Topology& topology, const Placement& placement,
+                        const std::vector<ClientRecord>& clients, std::size_t quorum) {
+  GEORED_ENSURE(!placement.empty(), "cannot evaluate an empty placement");
+  double total = 0.0;
+  std::vector<double> latencies(placement.size());
+  for (const auto& client : clients) {
+    if (quorum == 1) {
+      double best = topology.rtt_ms(client.client, placement.front());
+      for (std::size_t r = 1; r < placement.size(); ++r) {
+        best = std::min(best, topology.rtt_ms(client.client, placement[r]));
+      }
+      total += best * static_cast<double>(client.access_count);
+    } else {
+      for (std::size_t r = 0; r < placement.size(); ++r) {
+        latencies[r] = topology.rtt_ms(client.client, placement[r]);
+      }
+      total += quorum_latency(latencies, quorum) * static_cast<double>(client.access_count);
+    }
+  }
+  return total;
+}
+
+double true_average_delay(const topo::Topology& topology, const Placement& placement,
+                          const std::vector<ClientRecord>& clients, std::size_t quorum) {
+  double accesses = 0.0;
+  for (const auto& client : clients) accesses += static_cast<double>(client.access_count);
+  GEORED_ENSURE(accesses > 0.0, "average delay over zero accesses");
+  return true_total_delay(topology, placement, clients, quorum) / accesses;
+}
+
+double estimated_total_delay(const Placement& placement,
+                             const std::vector<CandidateInfo>& candidates,
+                             const std::vector<ClientRecord>& clients, std::size_t quorum) {
+  GEORED_ENSURE(!placement.empty(), "cannot evaluate an empty placement");
+  // Map node ids to candidate coordinates once.
+  std::vector<const Point*> replica_coords;
+  replica_coords.reserve(placement.size());
+  for (const auto id : placement) {
+    const auto it = std::find_if(candidates.begin(), candidates.end(),
+                                 [id](const CandidateInfo& c) { return c.node == id; });
+    GEORED_ENSURE(it != candidates.end(), "placement references a non-candidate node");
+    replica_coords.push_back(&it->coords);
+  }
+  double total = 0.0;
+  std::vector<double> latencies(placement.size());
+  for (const auto& client : clients) {
+    for (std::size_t r = 0; r < replica_coords.size(); ++r) {
+      latencies[r] = client.coords.distance_to(*replica_coords[r]);
+    }
+    std::vector<double> scratch = latencies;
+    total += quorum_latency(scratch, std::min(quorum, scratch.size())) *
+             static_cast<double>(client.access_count);
+  }
+  return total;
+}
+
+void validate_placement(const Placement& placement, const PlacementInput& input) {
+  const std::size_t expected = std::min(input.k, input.candidates.size());
+  GEORED_ENSURE(placement.size() == expected,
+                "placement size must be min(k, #candidates)");
+  std::unordered_set<topo::NodeId> seen;
+  for (const auto id : placement) {
+    GEORED_ENSURE(seen.insert(id).second, "placement contains a duplicate data center");
+    const bool known = std::any_of(input.candidates.begin(), input.candidates.end(),
+                                   [id](const CandidateInfo& c) { return c.node == id; });
+    GEORED_ENSURE(known, "placement contains a non-candidate node");
+  }
+}
+
+}  // namespace geored::place

@@ -1,0 +1,54 @@
+#include "placement/greedy.h"
+
+#include <limits>
+
+#include "common/ensure.h"
+#include "placement/random_placement.h"
+
+namespace geored::place {
+
+Placement GreedyPlacement::place(const PlacementInput& input) const {
+  GEORED_ENSURE(!input.candidates.empty(), "no candidate data centers");
+  if (input.clients.empty()) return RandomPlacement().place(input);
+  const std::size_t k = std::min(input.k, input.candidates.size());
+
+  // Estimated latency of every (candidate, client) pair, computed once.
+  const std::size_t n_cand = input.candidates.size();
+  const std::size_t n_client = input.clients.size();
+  std::vector<std::vector<double>> latency(n_cand, std::vector<double>(n_client));
+  for (std::size_t c = 0; c < n_cand; ++c) {
+    for (std::size_t u = 0; u < n_client; ++u) {
+      latency[c][u] = input.candidates[c].coords.distance_to(input.clients[u].coords);
+    }
+  }
+
+  std::vector<double> current_min(n_client, std::numeric_limits<double>::infinity());
+  std::vector<bool> used(n_cand, false);
+  Placement placement;
+  placement.reserve(k);
+
+  for (std::size_t round = 0; round < k; ++round) {
+    std::size_t best_candidate = 0;
+    double best_total = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < n_cand; ++c) {
+      if (used[c]) continue;
+      double total = 0.0;
+      for (std::size_t u = 0; u < n_client; ++u) {
+        total += std::min(current_min[u], latency[c][u]) *
+                 static_cast<double>(input.clients[u].access_count);
+      }
+      if (total < best_total) {
+        best_total = total;
+        best_candidate = c;
+      }
+    }
+    used[best_candidate] = true;
+    placement.push_back(input.candidates[best_candidate].node);
+    for (std::size_t u = 0; u < n_client; ++u) {
+      current_min[u] = std::min(current_min[u], latency[best_candidate][u]);
+    }
+  }
+  return placement;
+}
+
+}  // namespace geored::place

@@ -1,0 +1,18 @@
+// Greedy baseline (Qiu, Padmanabhan & Voelker, INFOCOM'01): add replicas one
+// at a time, each time picking the candidate that most reduces the total
+// client delay given the replicas already chosen. Uses full per-client
+// knowledge (coordinate-estimated latencies), so it shares offline
+// k-means' scalability problem but is a strong quality baseline.
+#pragma once
+
+#include "placement/strategy.h"
+
+namespace geored::place {
+
+class GreedyPlacement final : public PlacementStrategy {
+ public:
+  std::string name() const override { return "greedy"; }
+  Placement place(const PlacementInput& input) const override;
+};
+
+}  // namespace geored::place

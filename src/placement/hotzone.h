@@ -1,0 +1,29 @@
+// HotZone-style cell baseline (Szymaniak, Pierre & van Steen, SAINT'05):
+// partition the coordinate space into uniform cells, pick the k most crowded
+// cells, and place a replica at the candidate nearest each cell's center of
+// mass. The paper's related work notes its inherent limitation — all clients
+// outside the chosen cells are ignored — which the benches make visible.
+#pragma once
+
+#include "placement/strategy.h"
+
+namespace geored::place {
+
+struct HotZoneConfig {
+  /// Cell edge length in coordinate-space milliseconds. 0 = auto: one
+  /// eighth of the widest extent of the client bounding box.
+  double cell_size_ms = 0.0;
+};
+
+class HotZonePlacement final : public PlacementStrategy {
+ public:
+  explicit HotZonePlacement(HotZoneConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "hotzone"; }
+  Placement place(const PlacementInput& input) const override;
+
+ private:
+  HotZoneConfig config_;
+};
+
+}  // namespace geored::place

@@ -1,0 +1,102 @@
+#include "placement/local_search.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/ensure.h"
+#include "placement/online_clustering.h"
+#include "placement/random_placement.h"
+
+namespace geored::place {
+
+LocalSearchPlacement::LocalSearchPlacement(std::unique_ptr<PlacementStrategy> seed_strategy,
+                                           LocalSearchConfig config)
+    : seed_(seed_strategy ? std::move(seed_strategy)
+                          : std::make_unique<OnlineClusteringPlacement>()),
+      config_(config) {
+  GEORED_ENSURE(config_.max_rounds >= 1, "local search needs at least one round");
+  GEORED_ENSURE(config_.tolerance >= 0.0, "tolerance must be non-negative");
+}
+
+std::string LocalSearchPlacement::name() const { return seed_->name() + " +local-search"; }
+
+Placement LocalSearchPlacement::place(const PlacementInput& input) const {
+  GEORED_ENSURE(!input.candidates.empty(), "no candidate data centers");
+  Placement placement = seed_->place(input);
+  if (input.clients.empty() || placement.size() == input.candidates.size()) {
+    return placement;  // nothing to optimize against, or no free candidates
+  }
+
+  // Precompute estimated latencies candidate x client once.
+  const std::size_t n_cand = input.candidates.size();
+  const std::size_t n_client = input.clients.size();
+  std::vector<std::vector<double>> latency(n_cand, std::vector<double>(n_client));
+  std::vector<double> weight(n_client);
+  for (std::size_t c = 0; c < n_cand; ++c) {
+    for (std::size_t u = 0; u < n_client; ++u) {
+      latency[c][u] = input.candidates[c].coords.distance_to(input.clients[u].coords);
+    }
+  }
+  for (std::size_t u = 0; u < n_client; ++u) {
+    weight[u] = static_cast<double>(input.clients[u].access_count);
+  }
+  const auto candidate_index = [&](topo::NodeId node) {
+    for (std::size_t c = 0; c < n_cand; ++c) {
+      if (input.candidates[c].node == node) return c;
+    }
+    throw InternalError("placement node missing from candidates");
+  };
+
+  std::vector<std::size_t> chosen;
+  chosen.reserve(placement.size());
+  std::vector<bool> in_placement(n_cand, false);
+  for (const auto node : placement) {
+    chosen.push_back(candidate_index(node));
+    in_placement[chosen.back()] = true;
+  }
+
+  const auto total_delay = [&](const std::vector<std::size_t>& members) {
+    double total = 0.0;
+    for (std::size_t u = 0; u < n_client; ++u) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto c : members) best = std::min(best, latency[c][u]);
+      total += best * weight[u];
+    }
+    return total;
+  };
+
+  double current = total_delay(chosen);
+  for (std::size_t round = 0; round < config_.max_rounds; ++round) {
+    double best_delta = 0.0;
+    std::size_t best_slot = 0, best_replacement = 0;
+    bool improved = false;
+    for (std::size_t slot = 0; slot < chosen.size(); ++slot) {
+      const std::size_t original = chosen[slot];
+      for (std::size_t c = 0; c < n_cand; ++c) {
+        if (in_placement[c]) continue;
+        chosen[slot] = c;
+        const double candidate_total = total_delay(chosen);
+        const double delta = current - candidate_total;
+        if (delta > best_delta + config_.tolerance * std::max(1.0, current)) {
+          best_delta = delta;
+          best_slot = slot;
+          best_replacement = c;
+          improved = true;
+        }
+      }
+      chosen[slot] = original;
+    }
+    if (!improved) break;
+    in_placement[chosen[best_slot]] = false;
+    in_placement[best_replacement] = true;
+    chosen[best_slot] = best_replacement;
+    current -= best_delta;
+  }
+
+  Placement result;
+  result.reserve(chosen.size());
+  for (const auto c : chosen) result.push_back(input.candidates[c].node);
+  return result;
+}
+
+}  // namespace geored::place

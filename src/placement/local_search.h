@@ -1,0 +1,39 @@
+// Local-search placement: Teitz-Bart vertex substitution for the p-median
+// problem. Starting from any seed placement, repeatedly perform the single
+// replica<->candidate swap that most reduces the (coordinate-estimated)
+// total client delay, until no swap improves — a local optimum of the
+// placement objective. The classic strong heuristic of the facility-
+// location literature the paper's problem is an instance of; slower than
+// one k-means pass but usually closer to optimal.
+#pragma once
+
+#include <memory>
+
+#include "placement/strategy.h"
+
+namespace geored::place {
+
+struct LocalSearchConfig {
+  /// Hard cap on improvement rounds (each round scans all swaps).
+  std::size_t max_rounds = 64;
+  /// Minimum relative improvement for a swap to count.
+  double tolerance = 1e-9;
+};
+
+class LocalSearchPlacement final : public PlacementStrategy {
+ public:
+  /// `seed_strategy` produces the starting placement (defaults to the
+  /// paper's online clustering, making local search a refinement pass on
+  /// top of it).
+  explicit LocalSearchPlacement(std::unique_ptr<PlacementStrategy> seed_strategy = nullptr,
+                                LocalSearchConfig config = {});
+
+  std::string name() const override;
+  Placement place(const PlacementInput& input) const override;
+
+ private:
+  std::unique_ptr<PlacementStrategy> seed_;
+  LocalSearchConfig config_;
+};
+
+}  // namespace geored::place

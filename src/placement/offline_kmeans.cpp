@@ -1,0 +1,37 @@
+#include "placement/offline_kmeans.h"
+
+#include "common/ensure.h"
+#include "common/random.h"
+#include "placement/assign.h"
+#include "placement/random_placement.h"
+
+namespace geored::place {
+
+Placement OfflineKMeansPlacement::place(const PlacementInput& input) const {
+  GEORED_ENSURE(!input.candidates.empty(), "no candidate data centers");
+  if (input.clients.empty()) {
+    // No usage information at all: degrade to the information-free baseline.
+    return RandomPlacement().place(input);
+  }
+
+  std::vector<cluster::WeightedPoint> points;
+  points.reserve(input.clients.size());
+  for (const auto& client : input.clients) {
+    points.push_back({client.coords, static_cast<double>(client.access_count)});
+  }
+
+  cluster::KMeansConfig config = kmeans_config_;
+  config.k = std::min(input.k, input.candidates.size());
+  Rng rng(input.seed);
+  const auto result = cluster::weighted_kmeans(points, config, rng);
+
+  // Cluster mass = total accesses assigned to each centroid.
+  std::vector<double> mass(result.centroids.size(), 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    mass[result.assignment[i]] += points[i].weight;
+  }
+  return assign_centroids_to_candidates(result.centroids, mass, input.candidates, config.k,
+                                        input.seed);
+}
+
+}  // namespace geored::place

@@ -1,0 +1,136 @@
+#include "placement/optimal.h"
+
+#include <limits>
+
+#include "common/ensure.h"
+#include "placement/evaluate.h"
+
+namespace geored::place {
+
+namespace {
+
+/// Recursive enumeration of k-subsets with a shared prefix: `current_min`
+/// holds, per client, the best latency among the candidates chosen so far,
+/// so extending a prefix costs one pass over the clients.
+class ExhaustiveSearch {
+ public:
+  ExhaustiveSearch(const PlacementInput& input, std::size_t k)
+      : input_(input),
+        k_(k),
+        latencies_(input.candidates.size(), std::vector<double>(input.clients.size())) {
+    for (std::size_t c = 0; c < input.candidates.size(); ++c) {
+      for (std::size_t u = 0; u < input.clients.size(); ++u) {
+        latencies_[c][u] =
+            input.topology->rtt_ms(input.clients[u].client, input.candidates[c].node);
+      }
+    }
+    access_weight_.reserve(input.clients.size());
+    for (const auto& client : input.clients) {
+      access_weight_.push_back(static_cast<double>(client.access_count));
+    }
+  }
+
+  Placement run() {
+    best_total_ = std::numeric_limits<double>::infinity();
+    chosen_.clear();
+    std::vector<double> prefix_min(input_.clients.size(),
+                                   std::numeric_limits<double>::infinity());
+    recurse(0, prefix_min);
+    Placement placement;
+    placement.reserve(best_.size());
+    for (const auto idx : best_) placement.push_back(input_.candidates[idx].node);
+    return placement;
+  }
+
+ private:
+  void recurse(std::size_t next, const std::vector<double>& prefix_min) {
+    if (chosen_.size() == k_) {
+      double total = 0.0;
+      for (std::size_t u = 0; u < prefix_min.size(); ++u) {
+        total += prefix_min[u] * access_weight_[u];
+      }
+      if (total < best_total_) {
+        best_total_ = total;
+        best_ = chosen_;
+      }
+      return;
+    }
+    // Not enough candidates left to complete a k-subset?
+    const std::size_t remaining_needed = k_ - chosen_.size();
+    for (std::size_t c = next; c + remaining_needed <= input_.candidates.size(); ++c) {
+      std::vector<double> extended(prefix_min.size());
+      for (std::size_t u = 0; u < prefix_min.size(); ++u) {
+        extended[u] = std::min(prefix_min[u], latencies_[c][u]);
+      }
+      chosen_.push_back(c);
+      recurse(c + 1, extended);
+      chosen_.pop_back();
+    }
+  }
+
+  const PlacementInput& input_;
+  std::size_t k_;
+  std::vector<std::vector<double>> latencies_;  // candidate -> client -> rtt
+  std::vector<double> access_weight_;
+  std::vector<std::size_t> chosen_;
+  std::vector<std::size_t> best_;
+  double best_total_ = 0.0;
+};
+
+/// Plain enumeration evaluating each complete subset (used for quorum > 1,
+/// where prefix minima do not compose).
+class QuorumSearch {
+ public:
+  QuorumSearch(const PlacementInput& input, std::size_t k) : input_(input), k_(k) {}
+
+  Placement run() {
+    std::vector<std::size_t> indices(k_);
+    Placement best;
+    double best_total = std::numeric_limits<double>::infinity();
+    Placement current(k_);
+    enumerate(0, 0, indices, [&](const std::vector<std::size_t>& subset) {
+      for (std::size_t i = 0; i < k_; ++i) current[i] = input_.candidates[subset[i]].node;
+      const double total =
+          true_total_delay(*input_.topology, current, input_.clients, input_.quorum);
+      if (total < best_total) {
+        best_total = total;
+        best = current;
+      }
+    });
+    return best;
+  }
+
+ private:
+  template <typename Fn>
+  void enumerate(std::size_t depth, std::size_t next, std::vector<std::size_t>& indices,
+                 const Fn& fn) {
+    if (depth == k_) {
+      fn(indices);
+      return;
+    }
+    for (std::size_t c = next; c + (k_ - depth) <= input_.candidates.size(); ++c) {
+      indices[depth] = c;
+      enumerate(depth + 1, c + 1, indices, fn);
+    }
+  }
+
+  const PlacementInput& input_;
+  std::size_t k_;
+};
+
+}  // namespace
+
+Placement OptimalPlacement::place(const PlacementInput& input) const {
+  GEORED_ENSURE(input.topology != nullptr,
+                "optimal placement requires the ground-truth topology");
+  GEORED_ENSURE(!input.candidates.empty(), "no candidate data centers");
+  GEORED_ENSURE(!input.clients.empty(), "optimal placement requires client records");
+  const std::size_t k = std::min(input.k, input.candidates.size());
+  GEORED_ENSURE(input.quorum >= 1 && input.quorum <= k, "quorum must be in [1, k]");
+  if (input.quorum == 1) {
+    return ExhaustiveSearch(input, k).run();
+  }
+  return QuorumSearch(input, k).run();
+}
+
+}  // namespace geored::place

@@ -1,0 +1,22 @@
+// Baseline 4: the impractical oracle. Enumerates every k-subset of the
+// candidate set and evaluates the *true* total access delay with the
+// ground-truth RTT matrix, returning the global optimum. Exponential in k;
+// included (as in the paper) purely to quantify how close the heuristics get.
+#pragma once
+
+#include "placement/strategy.h"
+
+namespace geored::place {
+
+class OptimalPlacement final : public PlacementStrategy {
+ public:
+  std::string name() const override { return "optimal"; }
+
+  /// Requires input.topology (the oracle is allowed to see ground truth) and
+  /// per-client records. For quorum == 1 the enumeration shares per-prefix
+  /// minima across the recursion, costing O(C(n,k) * #clients) instead of
+  /// O(C(n,k) * #clients * k).
+  Placement place(const PlacementInput& input) const override;
+};
+
+}  // namespace geored::place

@@ -1,0 +1,20 @@
+#include "placement/random_placement.h"
+
+#include "common/ensure.h"
+#include "common/random.h"
+
+namespace geored::place {
+
+Placement RandomPlacement::place(const PlacementInput& input) const {
+  GEORED_ENSURE(!input.candidates.empty(), "no candidate data centers");
+  Rng rng(input.seed);
+  const std::size_t k = std::min(input.k, input.candidates.size());
+  Placement placement;
+  placement.reserve(k);
+  for (const auto idx : rng.sample_without_replacement(input.candidates.size(), k)) {
+    placement.push_back(input.candidates[idx].node);
+  }
+  return placement;
+}
+
+}  // namespace geored::place

@@ -1,0 +1,16 @@
+// Baseline 1: uniformly random choice of k candidate data centers — what
+// systems that ignore client locations (Dynamo/Cassandra-style hash or rack
+// placement) effectively do at WAN scale.
+#pragma once
+
+#include "placement/strategy.h"
+
+namespace geored::place {
+
+class RandomPlacement final : public PlacementStrategy {
+ public:
+  std::string name() const override { return "random"; }
+  Placement place(const PlacementInput& input) const override;
+};
+
+}  // namespace geored::place

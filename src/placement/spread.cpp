@@ -1,0 +1,96 @@
+#include "placement/spread.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/ensure.h"
+
+namespace geored::place {
+
+namespace {
+
+const CandidateInfo& info_of(const std::vector<CandidateInfo>& candidates,
+                             topo::NodeId node) {
+  const auto it = std::find_if(candidates.begin(), candidates.end(),
+                               [node](const CandidateInfo& c) { return c.node == node; });
+  GEORED_CHECK(it != candidates.end(), "placement node missing from candidates");
+  return *it;
+}
+
+}  // namespace
+
+double min_pairwise_spread(const Placement& placement,
+                           const std::vector<CandidateInfo>& candidates) {
+  double min_spread = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    for (std::size_t j = i + 1; j < placement.size(); ++j) {
+      min_spread = std::min(min_spread,
+                            info_of(candidates, placement[i])
+                                .coords.distance_to(info_of(candidates, placement[j]).coords));
+    }
+  }
+  return min_spread;
+}
+
+SpreadConstrainedPlacement::SpreadConstrainedPlacement(
+    std::unique_ptr<PlacementStrategy> inner, SpreadConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  GEORED_ENSURE(inner_ != nullptr, "spread decorator needs an inner strategy");
+  GEORED_ENSURE(config_.min_spread_ms >= 0.0, "min_spread_ms must be non-negative");
+}
+
+Placement SpreadConstrainedPlacement::place(const PlacementInput& input) const {
+  const Placement proposed = inner_->place(input);
+
+  Placement repaired;
+  repaired.reserve(proposed.size());
+  std::vector<bool> used(input.candidates.size(), false);
+  const auto candidate_index = [&](topo::NodeId node) {
+    for (std::size_t c = 0; c < input.candidates.size(); ++c) {
+      if (input.candidates[c].node == node) return c;
+    }
+    throw InternalError("placement node missing from candidates");
+  };
+  for (const auto node : proposed) used[candidate_index(node)] = true;
+
+  const auto far_enough = [&](const Point& coords) {
+    for (const auto accepted : repaired) {
+      if (coords.distance_to(info_of(input.candidates, accepted).coords) <
+          config_.min_spread_ms) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (const auto node : proposed) {
+    const Point& coords = info_of(input.candidates, node).coords;
+    if (far_enough(coords)) {
+      repaired.push_back(node);
+      continue;
+    }
+    // Violation: swap for the nearest unused candidate that honours the
+    // spread against everything accepted so far.
+    std::ptrdiff_t best = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < input.candidates.size(); ++c) {
+      if (used[c]) continue;
+      if (!far_enough(input.candidates[c].coords)) continue;
+      const double dist = coords.distance_squared_to(input.candidates[c].coords);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = static_cast<std::ptrdiff_t>(c);
+      }
+    }
+    if (best < 0) {
+      repaired.push_back(node);  // infeasible: keep serving from the original
+      continue;
+    }
+    used[candidate_index(node)] = false;
+    used[static_cast<std::size_t>(best)] = true;
+    repaired.push_back(input.candidates[static_cast<std::size_t>(best)].node);
+  }
+  return repaired;
+}
+
+}  // namespace geored::place

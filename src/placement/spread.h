@@ -1,0 +1,44 @@
+// Availability extension (paper future work: "taking into account ... data
+// availability"): a decorator that enforces geographic diversity on any
+// placement strategy. Latency-optimal placements tend to co-locate replicas
+// inside the dominant user region, where one regional outage can take every
+// copy offline; this wrapper repairs a placement so that all replicas are
+// pairwise at least `min_spread_ms` apart in coordinate space, trading a
+// little latency for failure independence.
+#pragma once
+
+#include <memory>
+
+#include "placement/strategy.h"
+
+namespace geored::place {
+
+struct SpreadConfig {
+  /// Minimum pairwise predicted RTT between replicas, ms.
+  double min_spread_ms = 50.0;
+};
+
+class SpreadConstrainedPlacement final : public PlacementStrategy {
+ public:
+  SpreadConstrainedPlacement(std::unique_ptr<PlacementStrategy> inner, SpreadConfig config);
+
+  std::string name() const override { return inner_->name() + " +spread"; }
+
+  /// Runs the inner strategy, then greedily repairs violations: a replica
+  /// too close to an already-accepted one is swapped for the nearest unused
+  /// candidate that honours the spread; if none exists the original replica
+  /// is kept (serving beats failing). The result is always a valid
+  /// placement of the same size.
+  Placement place(const PlacementInput& input) const override;
+
+ private:
+  std::unique_ptr<PlacementStrategy> inner_;
+  SpreadConfig config_;
+};
+
+/// Minimum pairwise coordinate distance of a placement (for reporting and
+/// tests); infinity for placements with fewer than two replicas.
+double min_pairwise_spread(const Placement& placement,
+                           const std::vector<CandidateInfo>& candidates);
+
+}  // namespace geored::place

@@ -1,0 +1,36 @@
+#include "placement/strategy.h"
+
+#include "common/ensure.h"
+#include "placement/greedy.h"
+#include "placement/hotzone.h"
+#include "placement/local_search.h"
+#include "placement/offline_kmeans.h"
+#include "placement/online_clustering.h"
+#include "placement/optimal.h"
+#include "placement/random_placement.h"
+
+namespace geored::place {
+
+std::unique_ptr<PlacementStrategy> make_strategy(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kRandom:
+      return std::make_unique<RandomPlacement>();
+    case StrategyKind::kOfflineKMeans:
+      return std::make_unique<OfflineKMeansPlacement>();
+    case StrategyKind::kOnlineClustering:
+      return std::make_unique<OnlineClusteringPlacement>();
+    case StrategyKind::kOptimal:
+      return std::make_unique<OptimalPlacement>();
+    case StrategyKind::kGreedy:
+      return std::make_unique<GreedyPlacement>();
+    case StrategyKind::kHotZone:
+      return std::make_unique<HotZonePlacement>();
+    case StrategyKind::kLocalSearch:
+      return std::make_unique<LocalSearchPlacement>();
+  }
+  throw InternalError("unknown strategy kind");
+}
+
+std::string strategy_name(StrategyKind kind) { return make_strategy(kind)->name(); }
+
+}  // namespace geored::place

@@ -1,0 +1,40 @@
+// The replica placement strategy interface and registry.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "placement/types.h"
+
+namespace geored::place {
+
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+
+  /// Human-readable name used in reports (e.g. "online clustering").
+  virtual std::string name() const = 0;
+
+  /// Chooses min(k, #candidates) *distinct* candidate data centers.
+  /// Implementations must be deterministic in (input, input.seed).
+  virtual Placement place(const PlacementInput& input) const = 0;
+};
+
+/// The strategies compared in the paper plus related-work baselines.
+enum class StrategyKind {
+  kRandom,            ///< paper baseline 1
+  kOfflineKMeans,     ///< paper baseline 2
+  kOnlineClustering,  ///< the paper's contribution
+  kOptimal,           ///< paper baseline 4 (exhaustive oracle)
+  kGreedy,            ///< Qiu et al., INFOCOM'01
+  kHotZone,           ///< Szymaniak et al., SAINT'05
+  kLocalSearch,       ///< Teitz-Bart vertex substitution over online clustering
+};
+
+/// Factory for a default-configured strategy of the given kind.
+std::unique_ptr<PlacementStrategy> make_strategy(StrategyKind kind);
+
+/// Name used in reports for a strategy kind (matches PlacementStrategy::name).
+std::string strategy_name(StrategyKind kind);
+
+}  // namespace geored::place

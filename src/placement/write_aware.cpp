@@ -1,0 +1,124 @@
+#include "placement/write_aware.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/ensure.h"
+#include "placement/online_clustering.h"
+
+namespace geored::place {
+
+namespace {
+
+/// Combined objective over a latency lookup: (1-f) * min + f * max per
+/// client, weighted by access counts.
+template <typename LatencyFn>
+double combined_delay(const Placement& placement, const std::vector<ClientRecord>& clients,
+                      double write_fraction, const LatencyFn& latency) {
+  GEORED_ENSURE(!placement.empty(), "cannot evaluate an empty placement");
+  GEORED_ENSURE(write_fraction >= 0.0 && write_fraction <= 1.0,
+                "write_fraction must be in [0, 1]");
+  double total = 0.0;
+  for (const auto& client : clients) {
+    double nearest = std::numeric_limits<double>::infinity();
+    double farthest = 0.0;
+    for (const auto node : placement) {
+      const double d = latency(client, node);
+      nearest = std::min(nearest, d);
+      farthest = std::max(farthest, d);
+    }
+    total += static_cast<double>(client.access_count) *
+             ((1.0 - write_fraction) * nearest + write_fraction * farthest);
+  }
+  return total;
+}
+
+}  // namespace
+
+double estimated_write_aware_delay(const Placement& placement,
+                                   const std::vector<CandidateInfo>& candidates,
+                                   const std::vector<ClientRecord>& clients,
+                                   double write_fraction) {
+  const auto latency = [&candidates](const ClientRecord& client, topo::NodeId node) {
+    const auto it = std::find_if(candidates.begin(), candidates.end(),
+                                 [node](const CandidateInfo& c) { return c.node == node; });
+    GEORED_ENSURE(it != candidates.end(), "placement references a non-candidate node");
+    return client.coords.distance_to(it->coords);
+  };
+  return combined_delay(placement, clients, write_fraction, latency);
+}
+
+double true_write_aware_delay(const topo::Topology& topology, const Placement& placement,
+                              const std::vector<ClientRecord>& clients,
+                              double write_fraction) {
+  const auto latency = [&topology](const ClientRecord& client, topo::NodeId node) {
+    return topology.rtt_ms(client.client, node);
+  };
+  return combined_delay(placement, clients, write_fraction, latency);
+}
+
+WriteAwarePlacement::WriteAwarePlacement(WriteAwareConfig config,
+                                         std::unique_ptr<PlacementStrategy> seed_strategy)
+    : config_(config),
+      seed_(seed_strategy ? std::move(seed_strategy)
+                          : std::make_unique<OnlineClusteringPlacement>()) {
+  GEORED_ENSURE(config_.write_fraction >= 0.0 && config_.write_fraction <= 1.0,
+                "write_fraction must be in [0, 1]");
+  GEORED_ENSURE(config_.max_rounds >= 1, "need at least one improvement round");
+}
+
+std::string WriteAwarePlacement::name() const {
+  return seed_->name() + " +write-aware";
+}
+
+Placement WriteAwarePlacement::place(const PlacementInput& input) const {
+  GEORED_ENSURE(!input.candidates.empty(), "no candidate data centers");
+  Placement placement = seed_->place(input);
+  if (input.clients.empty() || placement.size() == input.candidates.size()) {
+    return placement;
+  }
+
+  const std::size_t n_cand = input.candidates.size();
+  std::vector<bool> in_placement(n_cand, false);
+  const auto candidate_index = [&](topo::NodeId node) {
+    for (std::size_t c = 0; c < n_cand; ++c) {
+      if (input.candidates[c].node == node) return c;
+    }
+    throw InternalError("placement node missing from candidates");
+  };
+  for (const auto node : placement) in_placement[candidate_index(node)] = true;
+
+  double current = estimated_write_aware_delay(placement, input.candidates, input.clients,
+                                               config_.write_fraction);
+  for (std::size_t round = 0; round < config_.max_rounds; ++round) {
+    bool improved = false;
+    Placement best_placement = placement;
+    double best_value = current;
+    std::size_t best_old = 0, best_new = 0;
+    for (std::size_t slot = 0; slot < placement.size(); ++slot) {
+      const topo::NodeId original = placement[slot];
+      for (std::size_t c = 0; c < n_cand; ++c) {
+        if (in_placement[c]) continue;
+        placement[slot] = input.candidates[c].node;
+        const double value = estimated_write_aware_delay(
+            placement, input.candidates, input.clients, config_.write_fraction);
+        if (value + 1e-9 < best_value) {
+          best_value = value;
+          best_placement = placement;
+          best_old = candidate_index(original);
+          best_new = c;
+          improved = true;
+        }
+      }
+      placement[slot] = original;
+    }
+    if (!improved) break;
+    placement = best_placement;
+    in_placement[best_old] = false;
+    in_placement[best_new] = true;
+    current = best_value;
+  }
+  return placement;
+}
+
+}  // namespace geored::place

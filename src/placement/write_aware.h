@@ -1,0 +1,55 @@
+// Write-aware placement (the direction of Sivasubramanian et al. [10] in
+// the paper's related work).
+//
+// The paper assumes read-dominated objects and ignores update propagation
+// (§II-A). When writes matter, they pull the optimum the other way: a read
+// is served by the *closest* replica, but a write must reach *every*
+// replica (it completes with the slowest ack in a write-all regime), so
+// spreading replicas towards readers raises write latency. The combined
+// objective per client u with access weight w_u and write fraction f:
+//
+//   (1 - f) * w_u * min_c d(u, c)   +   f * w_u * max_c d(u, c)
+//
+// This module provides the objective and a strategy that minimizes it by
+// vertex-substitution local search from the paper's online-clustering seed.
+#pragma once
+
+#include <memory>
+
+#include "placement/strategy.h"
+
+namespace geored::place {
+
+struct WriteAwareConfig {
+  /// Fraction of accesses that are writes, in [0, 1]. 0 reduces to the
+  /// paper's read-only objective.
+  double write_fraction = 0.2;
+  std::size_t max_rounds = 64;  ///< local-search improvement rounds
+};
+
+/// Coordinate-estimated combined objective of a placement (what the
+/// strategy minimizes).
+double estimated_write_aware_delay(const Placement& placement,
+                                   const std::vector<CandidateInfo>& candidates,
+                                   const std::vector<ClientRecord>& clients,
+                                   double write_fraction);
+
+/// Ground-truth combined objective (for scoring in tests and benches).
+double true_write_aware_delay(const topo::Topology& topology, const Placement& placement,
+                              const std::vector<ClientRecord>& clients,
+                              double write_fraction);
+
+class WriteAwarePlacement final : public PlacementStrategy {
+ public:
+  explicit WriteAwarePlacement(WriteAwareConfig config = {},
+                               std::unique_ptr<PlacementStrategy> seed_strategy = nullptr);
+
+  std::string name() const override;
+  Placement place(const PlacementInput& input) const override;
+
+ private:
+  WriteAwareConfig config_;
+  std::unique_ptr<PlacementStrategy> seed_;
+};
+
+}  // namespace geored::place

@@ -1,0 +1,66 @@
+// Simulated wide-area network: delivers messages between topology nodes with
+// one-way delays sampled from the ground-truth RTT matrix, and accounts for
+// every byte by traffic class (the raw material of the Table II overhead
+// comparison).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.h"
+#include "topology/topology.h"
+
+namespace geored::sim {
+
+/// Message accounting categories.
+enum class TrafficClass : std::size_t {
+  kAccess = 0,     ///< client data requests/responses
+  kSummary = 1,    ///< micro-cluster summaries shipped to the coordinator
+  kControl = 2,    ///< placement decisions, replica directory updates
+  kMigration = 3,  ///< replica data transfers
+};
+inline constexpr std::size_t kTrafficClassCount = 4;
+
+struct TrafficStats {
+  std::array<std::uint64_t, kTrafficClassCount> bytes{};
+  std::array<std::uint64_t, kTrafficClassCount> messages{};
+
+  std::uint64_t total_bytes() const;
+  std::string to_string() const;
+};
+
+struct NetworkConfig {
+  /// Link bandwidth used to convert message size into serialization delay;
+  /// 0 disables the term (latency-only model, the paper's setting).
+  double bandwidth_bytes_per_ms = 0.0;
+  /// Per-message jitter fraction: one-way delay is scaled by a deterministic
+  /// pseudo-random factor in [1-jitter, 1+jitter]. 0 = none.
+  double jitter = 0.0;
+};
+
+class Network {
+ public:
+  Network(Simulator& simulator, const topo::Topology& topology, NetworkConfig config = {});
+
+  /// Delivers a message of `bytes` bytes from `from` to `to`, invoking
+  /// `on_delivery` after half the pair's RTT (plus serialization delay and
+  /// jitter, when configured). Loopback (from == to) delivers after 0 ms.
+  void send(topo::NodeId from, topo::NodeId to, std::size_t bytes, TrafficClass traffic_class,
+            std::function<void()> on_delivery);
+
+  double rtt_ms(topo::NodeId a, topo::NodeId b) const { return topology_.rtt_ms(a, b); }
+  const topo::Topology& topology() const { return topology_; }
+  const TrafficStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  Simulator& simulator_;
+  const topo::Topology& topology_;
+  NetworkConfig config_;
+  TrafficStats stats_;
+  std::uint64_t jitter_state_ = 0x6a09e667f3bcc909ULL;
+};
+
+}  // namespace geored::sim

@@ -1,0 +1,47 @@
+#include "sim/simulator.h"
+
+#include "common/ensure.h"
+
+namespace geored::sim {
+
+void Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  GEORED_ENSURE(t >= now_, "cannot schedule an event in the past");
+  GEORED_ENSURE(static_cast<bool>(fn), "cannot schedule a null event");
+  queue_.push({t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
+  GEORED_ENSURE(delay >= 0.0, "event delay must be non-negative");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Move the event out before popping so the callback may schedule freely.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  event.fn();
+  return true;
+}
+
+std::size_t Simulator::run() {
+  stopped_ = false;
+  std::size_t processed = 0;
+  while (!stopped_ && step()) ++processed;
+  return processed;
+}
+
+std::size_t Simulator::run_until(SimTime t) {
+  GEORED_ENSURE(t >= now_, "cannot run to a time in the past");
+  stopped_ = false;
+  std::size_t processed = 0;
+  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+    step();
+    ++processed;
+  }
+  if (!stopped_) now_ = t;
+  return processed;
+}
+
+}  // namespace geored::sim

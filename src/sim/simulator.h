@@ -1,0 +1,64 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a virtual clock and an event queue. Events scheduled for
+// the same instant run in scheduling order (FIFO tie-break), which keeps
+// whole simulations deterministic. The engine is single-threaded by design:
+// wall-clock parallelism across *runs* (different seeds) is how experiments
+// scale, not parallelism within a run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace geored::sim {
+
+/// Virtual time in milliseconds since simulation start.
+using SimTime = double;
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (>= 0) milliseconds.
+  void schedule_after(SimTime delay, std::function<void()> fn);
+
+  /// Executes the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue empties or stop() is called; returns the number of
+  /// events processed.
+  std::size_t run();
+
+  /// Processes all events with time <= `t`, then advances the clock to `t`.
+  std::size_t run_until(SimTime t);
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace geored::sim

@@ -1,0 +1,280 @@
+#include "store/kvstore.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/ensure.h"
+#include "common/random.h"
+
+namespace geored::store {
+
+ReplicatedKvStore::ReplicatedKvStore(sim::Simulator& simulator, sim::Network& network,
+                                     std::vector<place::CandidateInfo> candidates,
+                                     StoreConfig config, std::uint64_t seed)
+    : simulator_(simulator),
+      network_(network),
+      candidates_(std::move(candidates)),
+      config_(config),
+      seed_(seed) {
+  GEORED_ENSURE(!candidates_.empty(), "store needs at least one data center");
+  GEORED_ENSURE(config_.groups >= 1, "store needs at least one object group");
+  GEORED_ENSURE(config_.quorum.n >= 1, "replication factor must be >= 1");
+  GEORED_ENSURE(config_.quorum.n <= candidates_.size(),
+                "replication factor exceeds the candidate pool");
+  GEORED_ENSURE(config_.quorum.r >= 1 && config_.quorum.r <= config_.quorum.n,
+                "read quorum must be in [1, n]");
+  GEORED_ENSURE(config_.quorum.w >= 1 && config_.quorum.w <= config_.quorum.n,
+                "write quorum must be in [1, n]");
+
+  config_.manager.replication_degree = config_.quorum.n;
+  // A quorum system cannot let the degree drift away from n.
+  config_.manager.dynamic_degree = false;
+
+  groups_.reserve(config_.groups);
+  for (std::size_t g = 0; g < config_.groups; ++g) {
+    Group group;
+    group.manager = std::make_unique<core::ReplicationManager>(
+        candidates_, config_.manager, seed_ ^ (0x9e3779b97f4a7c15ULL * (g + 1)));
+    groups_.push_back(std::move(group));
+  }
+  for (const auto& candidate : candidates_) {
+    storage_.emplace(candidate.node, StorageNode{});
+  }
+}
+
+std::uint32_t ReplicatedKvStore::group_of(ObjectId id) const {
+  std::uint64_t state = id;
+  return static_cast<std::uint32_t>(splitmix64(state) % config_.groups);
+}
+
+const place::Placement& ReplicatedKvStore::placement_of_group(std::uint32_t group) const {
+  GEORED_ENSURE(group < groups_.size(), "group index out of range");
+  return groups_[group].manager->placement();
+}
+
+const core::ReplicationManager& ReplicatedKvStore::manager_of_group(
+    std::uint32_t group) const {
+  GEORED_ENSURE(group < groups_.size(), "group index out of range");
+  return *groups_[group].manager;
+}
+
+const place::CandidateInfo& ReplicatedKvStore::candidate_info(topo::NodeId node) const {
+  const auto it = std::find_if(candidates_.begin(), candidates_.end(),
+                               [node](const place::CandidateInfo& c) { return c.node == node; });
+  GEORED_CHECK(it != candidates_.end(), "placement node missing from candidates");
+  return *it;
+}
+
+std::vector<topo::NodeId> ReplicatedKvStore::closest_replicas(
+    const place::Placement& placement, const Point& coords, std::size_t count) const {
+  std::vector<std::pair<double, topo::NodeId>> ranked;
+  ranked.reserve(placement.size());
+  for (const auto node : placement) {
+    ranked.emplace_back(coords.distance_squared_to(candidate_info(node).coords), node);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<topo::NodeId> result;
+  result.reserve(std::min(count, ranked.size()));
+  for (std::size_t i = 0; i < std::min(count, ranked.size()); ++i) {
+    result.push_back(ranked[i].second);
+  }
+  return result;
+}
+
+LamportClock& ReplicatedKvStore::clock_of(topo::NodeId client) {
+  const auto it = clocks_.find(client);
+  if (it != clocks_.end()) return it->second;
+  return clocks_.emplace(client, LamportClock(client)).first->second;
+}
+
+void ReplicatedKvStore::put(topo::NodeId client, const Point& client_coords, ObjectId id,
+                            std::string data, std::function<void(const PutResult&)> done) {
+  GEORED_ENSURE(static_cast<bool>(done), "put requires a completion callback");
+  const std::uint32_t group = group_of(id);
+  auto& manager = *groups_[group].manager;
+  const place::Placement placement = manager.placement();
+
+  // Hybrid logical clock: advance the writer's clock past both everything
+  // it has observed and the current physical time (microseconds of virtual
+  // time). Pure per-writer Lamport counters would let an older write win
+  // last-writer-wins against a later write by a different client that never
+  // observed it; folding in physical time gives LWW the real-time order
+  // that sequential consistency needs (writer id still breaks true ties).
+  auto& clock = clock_of(client);
+  clock.observe({static_cast<std::uint64_t>(simulator_.now() * 1000.0), 0});
+  VersionedValue value;
+  value.version = clock.next();
+  value.data = std::move(data);
+
+  // The user population summary sees the write once, at the replica the
+  // client would naturally be served by.
+  const auto nearest = closest_replicas(placement, client_coords, 1);
+  if (!nearest.empty()) {
+    const auto& current = manager.placement();
+    if (std::find(current.begin(), current.end(), nearest.front()) != current.end()) {
+      manager.record_access(nearest.front(), client_coords,
+                            static_cast<double>(value.data.size()));
+    }
+  }
+
+  const double started_at = simulator_.now();
+  auto acks = std::make_shared<std::size_t>(0);
+  auto reported = std::make_shared<bool>(false);
+  const std::size_t need = config_.quorum.w;
+  const std::size_t payload = value.data.size() + config_.request_overhead_bytes;
+
+  for (const auto replica : placement) {
+    network_.send(client, replica, payload, sim::TrafficClass::kAccess,
+                  [this, replica, id, value, client, started_at, acks, reported, need,
+                   done] {
+                    storage_.at(replica).apply_write(id, value);
+                    // Ack back to the client.
+                    network_.send(replica, client, config_.request_overhead_bytes,
+                                  sim::TrafficClass::kAccess,
+                                  [this, id, value, started_at, acks, reported, need,
+                                   done] {
+                                    if (++*acks != need || *reported) return;
+                                    *reported = true;
+                                    // Commit point for the staleness oracle.
+                                    auto& committed = committed_[id];
+                                    committed = std::max(committed, value.version);
+                                    PutResult result;
+                                    result.version = value.version;
+                                    result.latency_ms = simulator_.now() - started_at;
+                                    put_latency_.add(result.latency_ms);
+                                    ++writes_;
+                                    done(result);
+                                  });
+                  });
+  }
+}
+
+void ReplicatedKvStore::get(topo::NodeId client, const Point& client_coords, ObjectId id,
+                            std::function<void(const GetResult&)> done) {
+  GEORED_ENSURE(static_cast<bool>(done), "get requires a completion callback");
+  const std::uint32_t group = group_of(id);
+  auto& manager = *groups_[group].manager;
+  const place::Placement placement = manager.placement();
+  const auto targets = closest_replicas(placement, client_coords, config_.quorum.r);
+  GEORED_CHECK(!targets.empty(), "group has no replicas");
+
+  if (!targets.empty()) {
+    const auto& current = manager.placement();
+    if (std::find(current.begin(), current.end(), targets.front()) != current.end()) {
+      manager.record_access(targets.front(), client_coords, 1.0);
+    }
+  }
+
+  const double started_at = simulator_.now();
+  // Freshness oracle: what was already committed when the read began.
+  const auto committed_it = committed_.find(id);
+  const Version committed_at_start =
+      committed_it == committed_.end() ? Version::zero() : committed_it->second;
+
+  auto replies = std::make_shared<std::vector<std::pair<topo::NodeId, Version>>>();
+  auto best = std::make_shared<VersionedValue>();
+  auto reported = std::make_shared<bool>(false);
+  const std::size_t need = targets.size();
+
+  for (const auto replica : targets) {
+    network_.send(
+        client, replica, config_.request_overhead_bytes, sim::TrafficClass::kAccess,
+        [this, replica, id, client, started_at, committed_at_start, replies, best,
+         reported, need, done] {
+          const VersionedValue value = storage_.at(replica).read(id);
+          const std::size_t payload = value.data.size() + config_.request_overhead_bytes;
+          network_.send(replica, client, payload, sim::TrafficClass::kAccess,
+                        [this, replica, id, client, value, started_at, committed_at_start,
+                         replies, best, reported, need, done] {
+                          if (value.version > best->version) *best = value;
+                          replies->emplace_back(replica, value.version);
+                          if (replies->size() != need || *reported) return;
+                          *reported = true;
+                          clock_of(client).observe(best->version);
+                          GetResult result;
+                          result.value = *best;
+                          result.latency_ms = simulator_.now() - started_at;
+                          result.stale = best->version < committed_at_start;
+                          get_latency_.add(result.latency_ms);
+                          ++reads_;
+                          if (result.stale) ++stale_reads_;
+                          if (!result.value.exists()) ++not_found_reads_;
+                          // Read repair: push the winning version back to
+                          // every contacted replica that returned less.
+                          if (config_.read_repair && best->exists()) {
+                            const VersionedValue winner = *best;
+                            for (const auto& [node, version] : *replies) {
+                              if (version >= winner.version) continue;
+                              ++read_repairs_;
+                              const std::size_t repair_bytes =
+                                  winner.data.size() + config_.request_overhead_bytes;
+                              network_.send(client, node, repair_bytes,
+                                            sim::TrafficClass::kAccess,
+                                            [this, node, id, winner] {
+                                              storage_.at(node).apply_write(id, winner);
+                                            });
+                            }
+                          }
+                          done(result);
+                        });
+        });
+  }
+}
+
+void ReplicatedKvStore::migrate_group(std::uint32_t group,
+                                      const place::Placement& old_placement,
+                                      const place::Placement& new_placement) {
+  const auto group_fn = [this](ObjectId id) { return group_of(id); };
+
+  for (const auto node : new_placement) {
+    if (std::find(old_placement.begin(), old_placement.end(), node) !=
+        old_placement.end()) {
+      continue;  // already holds the group
+    }
+    // Stream the group's data from the nearest surviving old replica.
+    topo::NodeId source = old_placement.front();
+    for (const auto old_node : old_placement) {
+      if (network_.rtt_ms(old_node, node) < network_.rtt_ms(source, node)) {
+        source = old_node;
+      }
+    }
+    auto snapshot = storage_.at(source).export_group(group, group_fn);
+    const std::size_t bytes = storage_.at(source).group_bytes(group, group_fn);
+    network_.send(source, node, std::max<std::size_t>(bytes, 1),
+                  sim::TrafficClass::kMigration,
+                  [this, node, snapshot = std::move(snapshot)] {
+                    auto& target = storage_.at(node);
+                    for (const auto& [id, value] : snapshot) {
+                      target.apply_write(id, value);
+                    }
+                  });
+  }
+  // Retired replicas drop the group once the new placement is in force.
+  for (const auto node : old_placement) {
+    if (std::find(new_placement.begin(), new_placement.end(), node) ==
+        new_placement.end()) {
+      storage_.at(node).drop_group(group, group_fn);
+    }
+  }
+}
+
+std::vector<core::EpochReport> ReplicatedKvStore::run_placement_epochs() {
+  std::vector<core::EpochReport> reports;
+  reports.reserve(groups_.size());
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    core::EpochReport report = groups_[g].manager->run_epoch();
+    if (report.adopted_placement != report.old_placement) {
+      migrate_group(g, report.old_placement, report.adopted_placement);
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+const StorageNode& ReplicatedKvStore::storage_at(topo::NodeId node) const {
+  const auto it = storage_.find(node);
+  GEORED_ENSURE(it != storage_.end(), "node is not a data center of this store");
+  return it->second;
+}
+
+}  // namespace geored::store

@@ -1,0 +1,20 @@
+#include "store/storage_node.h"
+
+namespace geored::store {
+
+bool StorageNode::apply_write(ObjectId id, const VersionedValue& value) {
+  auto [it, inserted] = data_.try_emplace(id, value);
+  if (inserted) return true;
+  if (value.version > it->second.version) {
+    it->second = value;
+    return true;
+  }
+  return false;
+}
+
+VersionedValue StorageNode::read(ObjectId id) const {
+  const auto it = data_.find(id);
+  return it == data_.end() ? VersionedValue{} : it->second;
+}
+
+}  // namespace geored::store

@@ -1,0 +1,64 @@
+// Versioning for the replicated key-value store.
+//
+// Writes carry hybrid-logical-clock versions: a counter advanced past both
+// every version the writer has observed (Lamport) and the writer's physical
+// time at write start, with the writer id as a deterministic tie-break.
+// Replicas keep the maximum version per key (last-writer-wins), which makes
+// replica state convergent under any message ordering — the consistency
+// model of the Dynamo-family systems the paper targets. The physical
+// component gives LWW real-time ordering: without it, a writer with a
+// low counter could lose against an *earlier* write by a busier client it
+// never observed.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace geored::store {
+
+using ObjectId = std::uint64_t;
+
+struct Version {
+  std::uint64_t logical = 0;  ///< Lamport counter
+  std::uint32_t writer = 0;   ///< tie-break between concurrent writers
+
+  auto operator<=>(const Version&) const = default;
+
+  /// The null version: smaller than any real write.
+  static Version zero() { return {}; }
+
+  std::string to_string() const {
+    return std::to_string(logical) + "@" + std::to_string(writer);
+  }
+};
+
+/// A value with its version. Empty data + zero version = "not found".
+struct VersionedValue {
+  std::string data;
+  Version version;
+
+  bool exists() const { return version != Version::zero(); }
+};
+
+/// A writer-side Lamport clock.
+class LamportClock {
+ public:
+  explicit LamportClock(std::uint32_t writer_id) : writer_(writer_id) {}
+
+  /// Advances past `observed` (e.g. a version returned by a read).
+  void observe(const Version& observed) {
+    if (observed.logical > counter_) counter_ = observed.logical;
+  }
+
+  /// Mints a fresh version strictly greater than everything observed.
+  Version next() { return {++counter_, writer_}; }
+
+  std::uint32_t writer_id() const { return writer_; }
+
+ private:
+  std::uint64_t counter_ = 0;
+  std::uint32_t writer_;
+};
+
+}  // namespace geored::store

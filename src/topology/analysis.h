@@ -1,0 +1,32 @@
+// Metric-property analysis of a latency matrix.
+//
+// Used by tests to pin down that the synthetic topology exhibits the
+// structural properties of measured wide-area latency datasets, and by the
+// documentation/benches to report what the substrate looks like.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/stats.h"
+#include "topology/topology.h"
+
+namespace geored::topo {
+
+struct MetricProperties {
+  Summary all_pairs_rtt;
+  Summary intra_region_rtt;   ///< empty (count==0) if no region info
+  Summary inter_region_rtt;   ///< empty (count==0) if no region info
+  /// Fraction of sampled triangles (i,j,k) with rtt(i,j) > rtt(i,k)+rtt(k,j).
+  double triangle_violation_rate = 0.0;
+  std::size_t triangles_sampled = 0;
+
+  std::string to_string() const;
+};
+
+/// Analyzes up to `max_triangles` randomly sampled triangles (deterministic
+/// in `seed`) plus all pairwise RTTs.
+MetricProperties analyze(const Topology& topology, std::size_t max_triangles = 200000,
+                         std::uint64_t seed = 1);
+
+}  // namespace geored::topo

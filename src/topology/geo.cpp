@@ -1,0 +1,31 @@
+#include "topology/geo.h"
+
+#include <cmath>
+
+namespace geored::topo {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kEarthRadiusKm = 6371.0;
+/// RTT accrues at ~1 ms per 100 km of geodesic distance (fibre at 2c/3,
+/// doubled for the round trip).
+constexpr double kRttMsPerKm = 1.0 / 100.0;
+
+double deg2rad(double deg) { return deg * kPi / 180.0; }
+}  // namespace
+
+double haversine_km(const GeoLocation& a, const GeoLocation& b) {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double geodesic_rtt_floor_ms(const GeoLocation& a, const GeoLocation& b) {
+  return haversine_km(a, b) * kRttMsPerKm;
+}
+
+}  // namespace geored::topo

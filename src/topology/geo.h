@@ -1,0 +1,20 @@
+// Geographic primitives for the synthetic WAN model.
+#pragma once
+
+namespace geored::topo {
+
+/// A point on the Earth's surface, degrees.
+struct GeoLocation {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance in kilometres (haversine, spherical Earth).
+double haversine_km(const GeoLocation& a, const GeoLocation& b);
+
+/// Minimum possible round-trip time in milliseconds over a geodesic fibre
+/// path between two locations: light in fibre covers ~100 km per millisecond
+/// of RTT (speed ~2/3 c, doubled for the round trip).
+double geodesic_rtt_floor_ms(const GeoLocation& a, const GeoLocation& b);
+
+}  // namespace geored::topo

@@ -1,0 +1,102 @@
+#include "topology/planetlab_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.h"
+#include "common/random.h"
+
+namespace geored::topo {
+
+std::vector<RegionSpec> default_planetlab_regions() {
+  // Centres are major PlanetLab hosting areas; weights approximate the site
+  // distribution of the 2009-2011 deployment (NA + EU heavy, smaller Asian,
+  // Oceanian and South-American contingents).
+  return {
+      {"na-east", {40.7, -74.0}, 500.0, 0.21},
+      {"na-central", {41.9, -87.6}, 450.0, 0.08},
+      {"na-west", {37.4, -122.1}, 450.0, 0.13},
+      {"eu-west", {51.5, -0.1}, 550.0, 0.17},
+      {"eu-central", {48.1, 11.6}, 500.0, 0.12},
+      {"eu-south", {41.9, 12.5}, 400.0, 0.06},
+      {"east-asia", {35.7, 139.7}, 600.0, 0.10},
+      {"china", {39.9, 116.4}, 500.0, 0.05},
+      {"oceania", {-33.9, 151.2}, 400.0, 0.04},
+      {"south-america", {-23.5, -46.6}, 500.0, 0.04},
+  };
+}
+
+namespace {
+
+/// Scatters a node around a region centre with a Gaussian spread expressed in
+/// kilometres, converted to degrees at the centre's latitude.
+GeoLocation scatter(const GeoLocation& center, double spread_km, Rng& rng) {
+  constexpr double kKmPerDegLat = 111.0;
+  const double lat_sigma = spread_km / kKmPerDegLat;
+  const double cos_lat = std::max(0.2, std::cos(center.lat_deg * 3.14159265358979 / 180.0));
+  const double lon_sigma = spread_km / (kKmPerDegLat * cos_lat);
+  GeoLocation loc;
+  loc.lat_deg = std::clamp(center.lat_deg + rng.normal(0.0, lat_sigma), -85.0, 85.0);
+  loc.lon_deg = center.lon_deg + rng.normal(0.0, lon_sigma);
+  if (loc.lon_deg > 180.0) loc.lon_deg -= 360.0;
+  if (loc.lon_deg < -180.0) loc.lon_deg += 360.0;
+  return loc;
+}
+
+}  // namespace
+
+Topology generate_planetlab_like(const PlanetLabModelConfig& config, std::uint64_t seed) {
+  GEORED_ENSURE(config.node_count >= 2, "topology needs at least two nodes");
+  GEORED_ENSURE(!config.regions.empty(), "topology needs at least one region");
+  GEORED_ENSURE(config.path_inflation_min >= 1.0 &&
+                    config.path_inflation_max >= config.path_inflation_min,
+                "path inflation range must be >= 1 and ordered");
+  GEORED_ENSURE(config.tiv_pair_fraction >= 0.0 && config.tiv_pair_fraction <= 1.0,
+                "tiv_pair_fraction must be a probability");
+
+  Rng rng(seed);
+  std::vector<double> weights;
+  weights.reserve(config.regions.size());
+  for (const auto& region : config.regions) {
+    GEORED_ENSURE(region.weight >= 0.0, "region weights must be non-negative");
+    weights.push_back(region.weight);
+  }
+
+  std::vector<NodeInfo> nodes;
+  nodes.reserve(config.node_count);
+  std::vector<std::string> region_names;
+  region_names.reserve(config.regions.size());
+  for (const auto& region : config.regions) region_names.push_back(region.name);
+
+  std::vector<double> node_inflation(config.node_count);
+  const double factor_lo = std::sqrt(config.path_inflation_min);
+  const double factor_hi = std::sqrt(config.path_inflation_max);
+  for (std::size_t i = 0; i < config.node_count; ++i) {
+    const std::size_t r = rng.weighted_index(weights);
+    NodeInfo node;
+    node.region = static_cast<std::uint32_t>(r);
+    node.location = scatter(config.regions[r].center, config.regions[r].spread_km, rng);
+    node.access_ms = rng.uniform(config.access_ms_min, config.access_ms_max);
+    nodes.push_back(node);
+    node_inflation[i] = rng.uniform(factor_lo, factor_hi);
+  }
+
+  SymMatrix rtt(config.node_count);
+  for (std::size_t i = 0; i < config.node_count; ++i) {
+    for (std::size_t j = i + 1; j < config.node_count; ++j) {
+      const double floor_ms = geodesic_rtt_floor_ms(nodes[i].location, nodes[j].location);
+      double inflation = node_inflation[i] * node_inflation[j];
+      if (rng.bernoulli(config.tiv_pair_fraction)) {
+        inflation *= config.tiv_extra_inflation;
+      }
+      const double access = 2.0 * (nodes[i].access_ms + nodes[j].access_ms);
+      double value = floor_ms * inflation + access;
+      value *= std::exp(rng.normal(0.0, config.lognormal_jitter_sigma));
+      rtt.set(i, j, std::max(config.min_rtt_ms, value));
+    }
+  }
+
+  return Topology(std::move(nodes), std::move(rtt), std::move(region_names));
+}
+
+}  // namespace geored::topo

@@ -1,0 +1,99 @@
+// Access traces: recording, storage, synthesis and replay.
+//
+// The paper's future work calls for "a more realistic evaluation study
+// based on data accesses in actual applications". This module provides the
+// machinery: a portable text format for access traces, a recorder, a
+// session-based synthetic generator (clients arrive, issue a burst of
+// Zipf-popular reads with think times, leave — the standard web-session
+// model), and a replayer that drives a ReplicatedKvStore from a trace.
+// Real application traces can be converted to the same format and replayed
+// unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "common/random.h"
+
+namespace geored::wl {
+
+struct TraceEvent {
+  double time_ms = 0.0;
+  std::uint32_t client = 0;    ///< client index (caller maps to node ids)
+  std::uint64_t object = 0;    ///< object identifier
+  std::uint32_t bytes = 0;     ///< payload size
+  bool is_write = false;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// An access trace ordered by time.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TraceEvent> events);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  double duration_ms() const { return events_.empty() ? 0.0 : events_.back().time_ms; }
+
+  /// Appends an event; must not go backwards in time.
+  void append(const TraceEvent& event);
+
+  /// Text serialization: a header line, then one "time client object bytes
+  /// r|w" line per event.
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+
+  /// Time-scaled copy: every timestamp multiplied by `factor` (> 0).
+  /// factor < 1 compresses (replays faster), > 1 stretches.
+  Trace scaled(double factor) const;
+
+  /// Merge of two traces: events interleaved by time; client and object id
+  /// spaces are assumed shared (offset them beforehand if they are not).
+  static Trace merged(const Trace& a, const Trace& b);
+
+  /// Basic shape statistics (used by tests and tooling).
+  struct Stats {
+    std::size_t events = 0;
+    std::size_t distinct_clients = 0;
+    std::size_t distinct_objects = 0;
+    double write_fraction = 0.0;
+    double duration_ms = 0.0;
+  };
+  Stats stats() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Session-model synthetic trace generator.
+struct SessionTraceConfig {
+  std::size_t clients = 100;
+  std::size_t objects = 1000;
+  double duration_ms = 600'000.0;
+
+  /// Client session arrivals: each client starts sessions as a Poisson
+  /// process with this rate (sessions per ms).
+  double session_rate = 1.0 / 120'000.0;
+  /// Requests per session: 1 + Poisson(mean_requests_per_session - 1).
+  double mean_requests_per_session = 8.0;
+  /// Think time between a session's requests (exponential mean, ms).
+  double mean_think_time_ms = 2'000.0;
+
+  /// Object popularity: Zipf exponent over the object catalogue.
+  double zipf_exponent = 0.9;
+  /// Probability a request is a write.
+  double write_fraction = 0.05;
+  /// Request payload size range (uniform).
+  std::uint32_t min_bytes = 256;
+  std::uint32_t max_bytes = 4096;
+};
+
+/// Generates a trace; pure function of (config, seed).
+Trace generate_session_trace(const SessionTraceConfig& config, std::uint64_t seed);
+
+}  // namespace geored::wl

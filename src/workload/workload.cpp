@@ -1,0 +1,163 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace geored::wl {
+
+namespace {
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+}
+
+double Workload::data_per_access(std::size_t) const { return 1.0; }
+
+double Workload::expected_accesses(std::size_t i, double t0, double t1,
+                                   std::size_t quadrature_steps) const {
+  GEORED_ENSURE(t1 >= t0, "interval must be ordered");
+  GEORED_ENSURE(quadrature_steps >= 1, "need at least one quadrature step");
+  const double h = (t1 - t0) / static_cast<double>(quadrature_steps);
+  double total = 0.0;
+  for (std::size_t s = 0; s < quadrature_steps; ++s) {
+    total += rate(i, t0 + (static_cast<double>(s) + 0.5) * h) * h;
+  }
+  return total;
+}
+
+std::uint64_t Workload::sample_access_count(std::size_t i, double t0, double t1,
+                                            Rng& rng) const {
+  return rng.poisson(expected_accesses(i, t0, t1));
+}
+
+std::vector<double> Workload::sample_arrival_times(std::size_t i, double t0, double t1,
+                                                   Rng& rng) const {
+  GEORED_ENSURE(t1 >= t0, "interval must be ordered");
+  std::vector<double> arrivals;
+  const double bound = max_rate(i);
+  if (bound <= 0.0) return arrivals;
+  double t = t0;
+  while (true) {
+    t += rng.exponential(bound);
+    if (t >= t1) break;
+    // Thinning: accept with probability rate(t)/bound.
+    if (rng.uniform() * bound < rate(i, t)) arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+StaticWorkload::StaticWorkload(std::vector<double> rates, std::vector<double> data_per_access)
+    : rates_(std::move(rates)), data_(std::move(data_per_access)) {
+  GEORED_ENSURE(!rates_.empty(), "workload needs at least one client");
+  for (double r : rates_) GEORED_ENSURE(r >= 0.0, "rates must be non-negative");
+  GEORED_ENSURE(data_.empty() || data_.size() == rates_.size(),
+                "data volumes must match client count when provided");
+}
+
+double StaticWorkload::rate(std::size_t i, double) const { return rates_.at(i); }
+double StaticWorkload::max_rate(std::size_t i) const { return rates_.at(i); }
+double StaticWorkload::data_per_access(std::size_t i) const {
+  return data_.empty() ? 1.0 : data_.at(i);
+}
+
+std::unique_ptr<StaticWorkload> make_uniform_workload(std::size_t clients, double mean_rate,
+                                                      double lognormal_sigma,
+                                                      std::uint64_t seed) {
+  GEORED_ENSURE(clients >= 1, "workload needs at least one client");
+  GEORED_ENSURE(mean_rate >= 0.0, "mean_rate must be non-negative");
+  GEORED_ENSURE(lognormal_sigma >= 0.0, "lognormal_sigma must be non-negative");
+  Rng rng(seed);
+  std::vector<double> rates(clients);
+  // exp(N(0, sigma) - sigma^2/2) has mean 1, so the population mean is kept.
+  const double mu_correction = -0.5 * lognormal_sigma * lognormal_sigma;
+  for (auto& r : rates) {
+    r = mean_rate * std::exp(rng.normal(mu_correction, lognormal_sigma));
+  }
+  return std::make_unique<StaticWorkload>(std::move(rates));
+}
+
+std::unique_ptr<StaticWorkload> make_zipf_workload(std::size_t clients, double total_rate,
+                                                   double exponent, std::uint64_t seed) {
+  GEORED_ENSURE(clients >= 1, "workload needs at least one client");
+  GEORED_ENSURE(total_rate >= 0.0, "total_rate must be non-negative");
+  GEORED_ENSURE(exponent >= 0.0, "zipf exponent must be non-negative");
+  // Assign Zipf ranks to clients in a seeded random order, so the popular
+  // clients are not always the low node ids.
+  Rng rng(seed);
+  const auto order = rng.permutation(clients);
+  std::vector<double> rates(clients);
+  double norm = 0.0;
+  for (std::size_t rank = 0; rank < clients; ++rank) {
+    norm += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+  }
+  for (std::size_t rank = 0; rank < clients; ++rank) {
+    rates[order[rank]] =
+        total_rate / std::pow(static_cast<double>(rank + 1), exponent) / norm;
+  }
+  return std::make_unique<StaticWorkload>(std::move(rates));
+}
+
+DiurnalWorkload::DiurnalWorkload(std::unique_ptr<Workload> base, std::vector<double> phases,
+                                 double period_ms, double floor_fraction)
+    : base_(std::move(base)),
+      phases_(std::move(phases)),
+      period_ms_(period_ms),
+      floor_fraction_(floor_fraction) {
+  GEORED_ENSURE(base_ != nullptr, "diurnal workload needs a base workload");
+  GEORED_ENSURE(phases_.size() == base_->client_count(), "one phase per client required");
+  GEORED_ENSURE(period_ms_ > 0.0, "period must be positive");
+  GEORED_ENSURE(floor_fraction_ >= 0.0 && floor_fraction_ <= 1.0,
+                "floor_fraction must be in [0,1]");
+}
+
+double DiurnalWorkload::rate(std::size_t i, double time_ms) const {
+  // Sinusoid in [0,1] peaking at phase: 0.5*(1+cos(2pi*(t/T - phase))).
+  const double angle = kTwoPi * (time_ms / period_ms_ - phases_.at(i));
+  const double envelope = 0.5 * (1.0 + std::cos(angle));
+  return base_->rate(i, time_ms) * std::max(floor_fraction_, envelope);
+}
+
+double DiurnalWorkload::max_rate(std::size_t i) const { return base_->max_rate(i); }
+
+ActiveWindowWorkload::ActiveWindowWorkload(std::unique_ptr<Workload> base,
+                                           std::vector<Window> windows)
+    : base_(std::move(base)), windows_(std::move(windows)) {
+  GEORED_ENSURE(base_ != nullptr, "active-window workload needs a base workload");
+  GEORED_ENSURE(windows_.size() == base_->client_count(), "one window per client required");
+  for (const auto& window : windows_) {
+    GEORED_ENSURE(window.end_ms >= window.start_ms, "windows must be ordered");
+  }
+}
+
+double ActiveWindowWorkload::rate(std::size_t i, double time_ms) const {
+  const auto& window = windows_.at(i);
+  if (time_ms < window.start_ms || time_ms >= window.end_ms) return 0.0;
+  return base_->rate(i, time_ms);
+}
+
+FlashCrowdWorkload::FlashCrowdWorkload(std::unique_ptr<Workload> base,
+                                       std::vector<bool> affected, double start_ms,
+                                       double end_ms, double boost)
+    : base_(std::move(base)),
+      affected_(std::move(affected)),
+      start_ms_(start_ms),
+      end_ms_(end_ms),
+      boost_(boost) {
+  GEORED_ENSURE(base_ != nullptr, "flash crowd needs a base workload");
+  GEORED_ENSURE(affected_.size() == base_->client_count(),
+                "one affected flag per client required");
+  GEORED_ENSURE(end_ms_ >= start_ms_, "flash crowd interval must be ordered");
+  GEORED_ENSURE(boost_ >= 1.0, "boost must be >= 1");
+}
+
+double FlashCrowdWorkload::rate(std::size_t i, double time_ms) const {
+  const double base = base_->rate(i, time_ms);
+  if (affected_.at(i) && time_ms >= start_ms_ && time_ms < end_ms_) return base * boost_;
+  return base;
+}
+
+double FlashCrowdWorkload::max_rate(std::size_t i) const {
+  return base_->max_rate(i) * (affected_.at(i) ? boost_ : 1.0);
+}
+
+}  // namespace geored::wl

@@ -1,0 +1,163 @@
+#include "cluster/microcluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace geored::cluster {
+namespace {
+
+TEST(MicroCluster, SingletonHasZeroSpread) {
+  const MicroCluster cluster(Point{3.0, -4.0}, 2.5);
+  EXPECT_EQ(cluster.count(), 1u);
+  EXPECT_DOUBLE_EQ(cluster.weight(), 2.5);
+  EXPECT_EQ(cluster.centroid(), (Point{3.0, -4.0}));
+  EXPECT_DOUBLE_EQ(cluster.rms_stddev(), 0.0);
+}
+
+TEST(MicroCluster, EmptyClusterThrowsOnDerivedStats) {
+  MicroCluster cluster;
+  EXPECT_EQ(cluster.count(), 0u);
+  EXPECT_THROW((void)cluster.centroid(), std::invalid_argument);
+  EXPECT_THROW((void)cluster.rms_stddev(), std::invalid_argument);
+}
+
+TEST(MicroCluster, MomentsMatchDirectComputation) {
+  // The paper stores only (count, weight, sum, sum2); centroid and stddev
+  // derived from them must match a direct two-pass computation.
+  Rng rng(11);
+  std::vector<Point> points;
+  MicroCluster cluster;
+  for (int i = 0; i < 500; ++i) {
+    Point p{rng.normal(10.0, 3.0), rng.normal(-5.0, 1.0)};
+    points.push_back(p);
+    cluster.absorb(p, 1.0);
+  }
+  // Direct per-dimension statistics.
+  OnlineStats dim0, dim1;
+  for (const auto& p : points) {
+    dim0.add(p[0]);
+    dim1.add(p[1]);
+  }
+  const Point centroid = cluster.centroid();
+  EXPECT_NEAR(centroid[0], dim0.mean(), 1e-9);
+  EXPECT_NEAR(centroid[1], dim1.mean(), 1e-9);
+  const double expected_rms =
+      std::sqrt(dim0.population_variance() + dim1.population_variance());
+  EXPECT_NEAR(cluster.rms_stddev(), expected_rms, 1e-9);
+}
+
+TEST(MicroCluster, MergePreservesMomentsExactly) {
+  Rng rng(13);
+  MicroCluster all, left, right;
+  for (int i = 0; i < 200; ++i) {
+    Point p{rng.uniform(-50, 50), rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    const double w = rng.uniform(0.1, 2.0);
+    all.absorb(p, w);
+    (i % 2 == 0 ? left : right).absorb(p, w);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.weight(), all.weight(), 1e-9);
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_NEAR(left.sum()[d], all.sum()[d], 1e-9);
+    EXPECT_NEAR(left.sum2()[d], all.sum2()[d], 1e-6);
+  }
+  EXPECT_NEAR(left.rms_stddev(), all.rms_stddev(), 1e-9);
+}
+
+TEST(MicroCluster, MergeWithEmptySides) {
+  MicroCluster a(Point{1.0}, 1.0), empty;
+  MicroCluster a_copy = a;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a_copy);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.centroid(), (Point{1.0}));
+}
+
+TEST(MicroCluster, MergeRejectsDimensionMismatch) {
+  MicroCluster a(Point{1.0}, 1.0);
+  const MicroCluster b(Point{1.0, 2.0}, 1.0);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.absorb(Point{1.0, 2.0}, 1.0), std::invalid_argument);
+}
+
+TEST(MicroCluster, ScalePreservesCentroidAndSpread) {
+  Rng rng(17);
+  MicroCluster cluster;
+  for (int i = 0; i < 1000; ++i) {
+    cluster.absorb(Point{rng.normal(5.0, 2.0), rng.normal(0.0, 4.0)}, 1.5);
+  }
+  const Point centroid_before = cluster.centroid();
+  const double stddev_before = cluster.rms_stddev();
+  const double weight_before = cluster.weight();
+
+  cluster.scale(0.5);
+  EXPECT_EQ(cluster.count(), 500u);
+  EXPECT_NEAR(cluster.weight(), weight_before * 0.5, 1e-9);
+  for (std::size_t d = 0; d < 2; ++d) {
+    EXPECT_NEAR(cluster.centroid()[d], centroid_before[d], 1e-9);
+  }
+  EXPECT_NEAR(cluster.rms_stddev(), stddev_before, 1e-9);
+}
+
+TEST(MicroCluster, ScaleToZeroEmptiesCluster) {
+  MicroCluster cluster(Point{1.0}, 1.0);
+  cluster.scale(0.2);  // 1 * 0.2 rounds to 0
+  EXPECT_EQ(cluster.count(), 0u);
+  EXPECT_DOUBLE_EQ(cluster.weight(), 0.0);
+}
+
+TEST(MicroCluster, ScaleRejectsInvalidFactor) {
+  MicroCluster cluster(Point{1.0}, 1.0);
+  EXPECT_THROW(cluster.scale(0.0), std::invalid_argument);
+  EXPECT_THROW(cluster.scale(1.5), std::invalid_argument);
+}
+
+TEST(MicroCluster, SerializationRoundTrip) {
+  Rng rng(19);
+  MicroCluster cluster;
+  for (int i = 0; i < 50; ++i) {
+    cluster.absorb(Point{rng.uniform(0, 100), rng.uniform(0, 100), rng.uniform(0, 100),
+                         rng.uniform(0, 100), rng.uniform(0, 100)},
+                   rng.uniform(0.5, 3.0));
+  }
+  ByteWriter writer;
+  cluster.serialize(writer);
+  EXPECT_EQ(writer.size(), MicroCluster::serialized_size(5));
+
+  ByteReader reader(writer.bytes());
+  const MicroCluster restored = MicroCluster::deserialize(reader);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_EQ(restored.count(), cluster.count());
+  EXPECT_DOUBLE_EQ(restored.weight(), cluster.weight());
+  EXPECT_EQ(restored.sum(), cluster.sum());
+  EXPECT_EQ(restored.sum2(), cluster.sum2());
+}
+
+TEST(MicroCluster, SerializedSizeIsSmall) {
+  // The paper: "the size of each micro-cluster is less than 1KB" — ours is
+  // under 100 bytes for a 5-dimensional space.
+  EXPECT_LT(MicroCluster::serialized_size(5), 110u);
+  EXPECT_EQ(MicroCluster::serialized_size(5), 8u + 8u + 2u * (4u + 40u));
+}
+
+TEST(MicroCluster, AbsorbRejectsNegativeWeight) {
+  MicroCluster cluster;
+  EXPECT_THROW(cluster.absorb(Point{1.0}, -1.0), std::invalid_argument);
+}
+
+TEST(MicroCluster, NumericalRobustnessOfStddev) {
+  // Identical far-from-origin points: cancellation must not produce NaN.
+  MicroCluster cluster;
+  for (int i = 0; i < 100; ++i) cluster.absorb(Point{1e8, 1e8}, 1.0);
+  EXPECT_GE(cluster.rms_stddev(), 0.0);
+  EXPECT_FALSE(std::isnan(cluster.rms_stddev()));
+}
+
+}  // namespace
+}  // namespace geored::cluster

@@ -1,0 +1,100 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace geored {
+namespace {
+
+FlagParser make_parser() {
+  FlagParser parser("tool", "test tool");
+  parser.add_string("name", "default-name", "a string flag");
+  parser.add_int("count", 7, "an int flag");
+  parser.add_double("rate", 0.5, "a double flag");
+  parser.add_bool("verbose", false, "a bool flag");
+  return parser;
+}
+
+TEST(Flags, DefaultsApplyWithoutArguments) {
+  auto parser = make_parser();
+  const auto positional = parser.parse({});
+  EXPECT_TRUE(positional.empty());
+  EXPECT_EQ(parser.get_string("name"), "default-name");
+  EXPECT_EQ(parser.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 0.5);
+  EXPECT_FALSE(parser.get_bool("verbose"));
+  EXPECT_FALSE(parser.is_set("count"));
+}
+
+TEST(Flags, EqualsAndSpaceForms) {
+  auto parser = make_parser();
+  parser.parse({"--name=alpha", "--count", "42", "--rate=2.5"});
+  EXPECT_EQ(parser.get_string("name"), "alpha");
+  EXPECT_EQ(parser.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 2.5);
+  EXPECT_TRUE(parser.is_set("count"));
+}
+
+TEST(Flags, BooleanForms) {
+  auto parser = make_parser();
+  parser.parse({"--verbose"});
+  EXPECT_TRUE(parser.get_bool("verbose"));
+
+  auto parser2 = make_parser();
+  parser2.parse({"--verbose=false"});
+  EXPECT_FALSE(parser2.get_bool("verbose"));
+
+  auto parser3 = make_parser();
+  parser3.parse({"--verbose", "false"});
+  EXPECT_FALSE(parser3.get_bool("verbose"));
+}
+
+TEST(Flags, PositionalArgumentsAndSeparator) {
+  auto parser = make_parser();
+  const auto positional =
+      parser.parse({"first", "--count=1", "second", "--", "--count=9"});
+  EXPECT_EQ(positional, (std::vector<std::string>{"first", "second", "--count=9"}));
+  EXPECT_EQ(parser.get_int("count"), 1);
+}
+
+TEST(Flags, ErrorsOnUnknownAndMalformed) {
+  auto parser = make_parser();
+  EXPECT_THROW(parser.parse({"--bogus=1"}), std::invalid_argument);
+  EXPECT_THROW(make_parser().parse({"--count=notanumber"}), std::invalid_argument);
+  EXPECT_THROW(make_parser().parse({"--rate"}), std::invalid_argument);  // missing value
+  EXPECT_THROW(make_parser().parse({"--verbose=maybe"}), std::invalid_argument);
+}
+
+TEST(Flags, NegativeAndScientificNumbers) {
+  FlagParser parser("tool", "test");
+  parser.add_int("offset", 0, "signed int");
+  parser.add_double("gain", 0.0, "double");
+  parser.parse({"--offset=-42", "--gain=-1.5e3"});
+  EXPECT_EQ(parser.get_int("offset"), -42);
+  EXPECT_DOUBLE_EQ(parser.get_double("gain"), -1500.0);
+}
+
+TEST(Flags, HelpRequestedInsteadOfFailing) {
+  auto parser = make_parser();
+  parser.parse({"--help"});
+  EXPECT_TRUE(parser.help_requested());
+  const auto text = parser.help();
+  EXPECT_NE(text.find("--count"), std::string::npos);
+  EXPECT_NE(text.find("default: 7"), std::string::npos);
+  EXPECT_NE(text.find("a bool flag"), std::string::npos);
+}
+
+TEST(Flags, TypeMismatchAccessorThrows) {
+  auto parser = make_parser();
+  parser.parse({});
+  EXPECT_THROW((void)parser.get_int("name"), std::invalid_argument);
+  EXPECT_THROW((void)parser.get_string("missing"), std::invalid_argument);
+}
+
+TEST(Flags, DuplicateRegistrationRejected) {
+  FlagParser parser("tool", "test");
+  parser.add_int("x", 1, "first");
+  EXPECT_THROW(parser.add_double("x", 2.0, "second"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geored

@@ -1,0 +1,66 @@
+#include "common/nelder_mead.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace geored {
+namespace {
+
+TEST(NelderMead, MinimizesShiftedQuadratic) {
+  const auto objective = [](const std::vector<double>& x) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i + 1);
+      total += d * d;
+    }
+    return total;
+  };
+  const auto result = nelder_mead(objective, {0.0, 0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.min_value, 1e-6);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(result.argmin[i], static_cast<double>(i + 1), 1e-3);
+  }
+}
+
+TEST(NelderMead, MinimizesRosenbrock) {
+  const auto rosenbrock = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions options;
+  options.max_iterations = 5000;
+  options.initial_step = 0.5;
+  const auto result = nelder_mead(rosenbrock, {-1.2, 1.0}, options);
+  EXPECT_NEAR(result.argmin[0], 1.0, 1e-2);
+  EXPECT_NEAR(result.argmin[1], 1.0, 1e-2);
+}
+
+TEST(NelderMead, OneDimensional) {
+  const auto objective = [](const std::vector<double>& x) {
+    return std::cos(x[0]) + 0.01 * x[0] * x[0];
+  };
+  const auto result = nelder_mead(objective, {2.0});
+  // Global minimum near pi (cos minimal, small quadratic pull).
+  EXPECT_NEAR(result.argmin[0], 3.09, 0.1);
+}
+
+TEST(NelderMead, RespectsIterationBudget) {
+  const auto objective = [](const std::vector<double>& x) { return x[0] * x[0]; };
+  NelderMeadOptions options;
+  options.max_iterations = 3;
+  options.tolerance = 0.0;  // never converge by tolerance
+  const auto result = nelder_mead(objective, {100.0}, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 3u);
+}
+
+TEST(NelderMead, EmptyStartThrows) {
+  EXPECT_THROW(nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geored

@@ -1,0 +1,218 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace geored {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a() == b();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.5);
+  }
+  EXPECT_THROW(rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(11);
+  std::array<int, 10> counts{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, IntegerInclusiveBounds) {
+  Rng rng(13);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.integer(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    hit_lo |= v == -2;
+    hit_hi |= v == 2;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double variance = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(variance, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / kDraws, 2.0, 0.05);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(23);
+  for (const double mean : {0.5, 4.0, 30.0, 200.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / kDraws, mean, std::max(0.05, mean * 0.03)) << "mean=" << mean;
+  }
+  EXPECT_EQ(Rng(1).poisson(0.0), 0u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+  EXPECT_FALSE(Rng(1).bernoulli(0.0));
+  EXPECT_TRUE(Rng(1).bernoulli(1.0));
+}
+
+TEST(Rng, WeightedIndexProportional) {
+  Rng rng(31);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 40000.0, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 40000.0, 0.75, 0.02);
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(37);
+  const auto perm = rng.permutation(100);
+  std::vector<std::size_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto v : sample) EXPECT_LT(v, 50u);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+  EXPECT_TRUE(rng.sample_without_replacement(3, 0).empty());
+}
+
+TEST(Rng, SampleWithoutReplacementUnbiased) {
+  // Every element should appear in a k-of-n sample with probability k/n.
+  Rng rng(43);
+  constexpr std::size_t kN = 10, kK = 3;
+  std::array<int, kN> counts{};
+  constexpr int kTrials = 30000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (const auto idx : rng.sample_without_replacement(kN, kK)) ++counts[idx];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.3, 0.02);
+  }
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(99);
+  Rng child0 = parent.fork(0);
+  Rng child1 = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += child0() == child1();
+  EXPECT_LT(same, 3);
+  // fork is a pure function of (seed, stream).
+  Rng again = Rng(99).fork(0);
+  Rng child0b = Rng(99).fork(0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(again(), child0b());
+}
+
+TEST(ZipfSampler, RankFrequenciesDecrease) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(47);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[9], counts[49]);
+  // Zipf(1): rank 0 is ~1/H(100) ~ 19% of mass.
+  EXPECT_NEAR(counts[0] / 100000.0, 0.193, 0.02);
+}
+
+TEST(ZipfSampler, ExponentZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(53);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c / 50000.0, 0.1, 0.015);
+}
+
+TEST(ZipfSampler, RejectsInvalidArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const auto a = splitmix64(state);
+  const auto b = splitmix64(state);
+  EXPECT_NE(a, b);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), a);
+}
+
+}  // namespace
+}  // namespace geored

@@ -1,0 +1,62 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace geored {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  ByteWriter writer;
+  writer.write_u32(0xdeadbeefu);
+  writer.write_u64(0x0123456789abcdefULL);
+  writer.write_f64(-3.25);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.read_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.read_f64(), -3.25);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  ByteWriter writer;
+  const std::vector<double> values{1.0, -2.5, 1e-300, 1e300};
+  writer.write_f64_vector(values);
+  writer.write_f64_vector({});
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.read_f64_vector(), values);
+  EXPECT_TRUE(reader.read_f64_vector().empty());
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Serialize, SizeAccounting) {
+  ByteWriter writer;
+  EXPECT_EQ(writer.size(), 0u);
+  writer.write_u32(1);
+  EXPECT_EQ(writer.size(), 4u);
+  writer.write_f64(1.0);
+  EXPECT_EQ(writer.size(), 12u);
+  writer.write_f64_vector({1.0, 2.0});
+  EXPECT_EQ(writer.size(), 12u + 4u + 16u);
+}
+
+TEST(Serialize, ReadPastEndThrows) {
+  ByteWriter writer;
+  writer.write_u32(5);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.read_u32(), 5u);
+  EXPECT_THROW(reader.read_u32(), std::invalid_argument);
+  EXPECT_THROW(ByteReader(writer.bytes()).read_u64(), std::invalid_argument);
+}
+
+TEST(Serialize, RemainingTracksOffset) {
+  ByteWriter writer;
+  writer.write_u64(1);
+  writer.write_u32(2);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.remaining(), 12u);
+  reader.read_u64();
+  EXPECT_EQ(reader.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace geored

@@ -1,0 +1,105 @@
+#include "common/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace geored {
+namespace {
+
+TEST(NormalTwoSidedP, KnownValues) {
+  EXPECT_NEAR(normal_two_sided_p(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(normal_two_sided_p(1.959964), 0.05, 1e-4);
+  EXPECT_NEAR(normal_two_sided_p(2.575829), 0.01, 1e-4);
+  EXPECT_NEAR(normal_two_sided_p(-1.959964), 0.05, 1e-4);  // symmetric
+}
+
+TEST(PairedTTest, DetectsAConsistentShift) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.normal(100.0, 20.0);
+    a.push_back(base);
+    b.push_back(base + 5.0 + rng.normal(0.0, 1.0));  // b consistently ~5 higher
+  }
+  const auto result = paired_t_test(b, a);
+  EXPECT_NEAR(result.mean_difference, 5.0, 1.0);
+  EXPECT_TRUE(result.significant_at_05());
+  EXPECT_GT(result.t_statistic, 10.0);
+  EXPECT_EQ(result.degrees_of_freedom, 29.0);
+}
+
+TEST(PairedTTest, NoShiftIsNotSignificant) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.normal(100.0, 20.0);
+    a.push_back(base + rng.normal(0.0, 3.0));
+    b.push_back(base + rng.normal(0.0, 3.0));
+  }
+  const auto result = paired_t_test(a, b);
+  EXPECT_FALSE(result.significant_at_05());
+}
+
+TEST(PairedTTest, PairingBeatsUnpairedOnCorrelatedData) {
+  // With large per-pair variation and a small consistent shift, the paired
+  // test finds the effect that Welch's unpaired test cannot — exactly the
+  // structure of per-run strategy comparisons.
+  Rng rng(7);
+  std::vector<double> a, b;
+  for (int i = 0; i < 25; ++i) {
+    const double base = rng.normal(100.0, 40.0);  // run-to-run noise
+    a.push_back(base);
+    b.push_back(base + 2.0 + rng.normal(0.0, 0.5));
+  }
+  EXPECT_TRUE(paired_t_test(b, a).significant_at_05());
+  EXPECT_FALSE(welch_t_test(b, a).significant_at_05());
+}
+
+TEST(PairedTTest, DegenerateInputs) {
+  EXPECT_THROW(paired_t_test({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(paired_t_test({1.0, 2.0}, {1.0}), std::invalid_argument);
+  // Identical samples: p = 1.
+  const auto same = paired_t_test({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(same.p_value, 1.0);
+  // Constant nonzero shift with zero variance: p = 0.
+  const auto shifted = paired_t_test({2.0, 3.0, 4.0}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(shifted.p_value, 0.0);
+  EXPECT_EQ(shifted.mean_difference, 1.0);
+}
+
+TEST(WelchTTest, DetectsSeparatedMeans) {
+  Rng rng(9);
+  std::vector<double> a, b;
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(rng.normal(50.0, 5.0));
+    b.push_back(rng.normal(60.0, 15.0));  // different variance too
+  }
+  const auto result = welch_t_test(b, a);
+  EXPECT_TRUE(result.significant_at_05());
+  EXPECT_NEAR(result.mean_difference, 10.0, 4.0);
+  // Welch-Satterthwaite df lies between min(n)-1 and n1+n2-2.
+  EXPECT_GT(result.degrees_of_freedom, 39.0);
+  EXPECT_LT(result.degrees_of_freedom, 78.0);
+}
+
+TEST(WelchTTest, HandlesUnequalSampleSizes) {
+  // Deterministic zero-mean samples of very different sizes: no effect.
+  const std::vector<double> small{-1.0, -0.5, 0.0, 0.5, 1.0};
+  std::vector<double> large;
+  for (int i = 0; i < 101; ++i) large.push_back(-1.0 + 0.02 * i);
+  const auto result = welch_t_test(small, large);
+  EXPECT_NEAR(result.mean_difference, 0.0, 1e-12);
+  EXPECT_FALSE(result.significant_at_05());
+  EXPECT_THROW(welch_t_test({1.0}, large), std::invalid_argument);
+}
+
+TEST(WelchTTest, ZeroVarianceEdgeCases) {
+  const auto same = welch_t_test({2.0, 2.0}, {2.0, 2.0});
+  EXPECT_EQ(same.p_value, 1.0);
+  const auto different = welch_t_test({3.0, 3.0}, {2.0, 2.0});
+  EXPECT_EQ(different.p_value, 0.0);
+}
+
+}  // namespace
+}  // namespace geored

@@ -1,0 +1,117 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace geored {
+namespace {
+
+TEST(OnlineStats, EmptyAccumulator) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  OnlineStats stats;
+  for (const double v : values) stats.add(v);
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.population_variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.population_stddev(), 2.0);
+  EXPECT_NEAR(stats.variance(), 4.0 * 8.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng(5);
+  OnlineStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats a_copy = a;
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty lhs: adopt rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(OnlineStats, NumericallyStableForLargeOffsets) {
+  OnlineStats stats;
+  for (int i = 0; i < 1000; ++i) stats.add(1e9 + (i % 2));
+  EXPECT_NEAR(stats.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(stats.population_variance(), 0.25, 1e-6);
+}
+
+TEST(PercentileSorted, InterpolatesLinearly) {
+  const std::vector<double> values{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(values, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(values, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(values, 1.0 / 3.0), 20.0);
+  EXPECT_THROW(percentile_sorted({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile_sorted(values, 1.5), std::invalid_argument);
+}
+
+TEST(PercentileSorted, SingletonSample) {
+  EXPECT_DOUBLE_EQ(percentile_sorted({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({7.0}, 0.99), 7.0);
+}
+
+TEST(Summarize, FullSummary) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_GT(s.ci95_halfwidth, 0.0);
+  EXPECT_NEAR(s.ci95_halfwidth, 1.96 * s.stddev / 10.0, 1e-9);
+}
+
+TEST(Summarize, EmptyAndUnsortedInput) {
+  const Summary empty = summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  const Summary s = summarize({3.0, 1.0, 2.0});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.p50, 2.0);
+  EXPECT_EQ(s.max, 3.0);
+}
+
+TEST(Summary, ToStringMentionsKeyFields) {
+  const Summary s = summarize({1.0, 2.0, 3.0});
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  EXPECT_NE(text.find("mean=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geored

@@ -1,0 +1,59 @@
+#include "common/sym_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace geored {
+namespace {
+
+TEST(SymMatrix, EmptyMatrix) {
+  SymMatrix m;
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(SymMatrix, DiagonalIsAlwaysZero) {
+  SymMatrix m(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(m.at(i, i), 0.0);
+  EXPECT_THROW(m.set(2, 2, 1.0), std::invalid_argument);
+}
+
+TEST(SymMatrix, SymmetricAccess) {
+  SymMatrix m(5);
+  m.set(1, 3, 42.0);
+  EXPECT_EQ(m.at(1, 3), 42.0);
+  EXPECT_EQ(m.at(3, 1), 42.0);
+  m.set(3, 1, 7.0);  // writing the mirrored entry overwrites the same cell
+  EXPECT_EQ(m.at(1, 3), 7.0);
+}
+
+TEST(SymMatrix, AllCellsIndependent) {
+  constexpr std::size_t kN = 7;
+  SymMatrix m(kN);
+  double value = 1.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = i + 1; j < kN; ++j) m.set(i, j, value++);
+  }
+  value = 1.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = i + 1; j < kN; ++j) {
+      EXPECT_EQ(m.at(i, j), value) << i << "," << j;
+      ++value;
+    }
+  }
+  EXPECT_EQ(m.raw().size(), kN * (kN - 1) / 2);
+}
+
+TEST(SymMatrix, OutOfRangeThrows) {
+  SymMatrix m(3);
+  EXPECT_THROW((void)m.at(0, 3), std::invalid_argument);
+  EXPECT_THROW(m.set(3, 0, 1.0), std::invalid_argument);
+}
+
+TEST(SymMatrix, SingleNodeMatrix) {
+  SymMatrix m(1);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at(0, 0), 0.0);
+  EXPECT_TRUE(m.raw().empty());
+}
+
+}  // namespace
+}  // namespace geored

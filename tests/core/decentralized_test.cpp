@@ -1,0 +1,135 @@
+#include "core/decentralized.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.h"
+#include "placement/evaluate.h"
+#include "topology/topology.h"
+
+namespace geored::core {
+namespace {
+
+struct DecWorld {
+  topo::Topology topology;
+  std::vector<place::CandidateInfo> candidates;
+  std::map<topo::NodeId, std::vector<cluster::MicroCluster>> summaries;
+
+  explicit DecWorld(std::size_t dc_count, std::size_t replicas, std::uint64_t seed)
+      : topology(topo::Topology(std::vector<topo::NodeInfo>(0), SymMatrix(0), {})) {
+    Rng rng(seed);
+    std::vector<Point> positions;
+    for (std::size_t i = 0; i < dc_count; ++i) {
+      positions.push_back(Point{rng.uniform(0.0, 400.0), rng.uniform(0.0, 400.0)});
+    }
+    SymMatrix rtt(dc_count);
+    for (std::size_t i = 0; i < dc_count; ++i) {
+      for (std::size_t j = i + 1; j < dc_count; ++j) {
+        rtt.set(i, j, std::max(0.1, positions[i].distance_to(positions[j])));
+      }
+    }
+    topology = topo::Topology(std::vector<topo::NodeInfo>(dc_count), std::move(rtt), {});
+    for (std::size_t i = 0; i < dc_count; ++i) {
+      candidates.push_back({static_cast<topo::NodeId>(i), positions[i],
+                            std::numeric_limits<double>::infinity()});
+    }
+    // The first `replicas` candidates currently hold the object; each
+    // summarizes a client population near itself.
+    for (std::size_t r = 0; r < replicas; ++r) {
+      std::vector<cluster::MicroCluster> clusters;
+      for (int c = 0; c < 4; ++c) {
+        cluster::MicroCluster micro;
+        for (int p = 0; p < 20; ++p) {
+          Point point = positions[r];
+          point[0] += rng.normal(0.0, 15.0);
+          point[1] += rng.normal(0.0, 15.0);
+          micro.absorb(point, 1.0);
+        }
+        clusters.push_back(micro);
+      }
+      summaries.emplace(static_cast<topo::NodeId>(r), std::move(clusters));
+    }
+  }
+};
+
+TEST(Decentralized, AllReplicasAgreeOnTheProposal) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    DecWorld world(12, 3, seed);
+    sim::Simulator simulator;
+    sim::Network network(simulator, world.topology);
+    const auto result = run_decentralized_epoch(simulator, network, world.candidates,
+                                                world.summaries, 3, seed);
+    EXPECT_TRUE(result.agreement) << "seed " << seed;
+    ASSERT_EQ(result.per_replica.size(), 3u);
+    for (const auto& decision : result.per_replica) {
+      EXPECT_EQ(decision, result.proposal);
+    }
+  }
+}
+
+TEST(Decentralized, MatchesTheCentralizedComputation) {
+  DecWorld world(10, 3, 7);
+  sim::Simulator simulator;
+  sim::Network network(simulator, world.topology);
+  const auto result = run_decentralized_epoch(simulator, network, world.candidates,
+                                              world.summaries, 3, 99);
+
+  // Central reference: identical summaries in source-id order + same seed.
+  place::PlacementInput input;
+  input.candidates = world.candidates;
+  input.k = 3;
+  input.seed = 99;
+  for (const auto& [source, clusters] : world.summaries) {
+    for (const auto& micro : clusters) input.summaries.push_back(micro);
+  }
+  const auto central = place::OnlineClusteringPlacement().place(input);
+  EXPECT_EQ(result.proposal, central);
+}
+
+TEST(Decentralized, ExchangesKSquaredSummaries) {
+  DecWorld world(12, 4, 3);
+  sim::Simulator simulator;
+  sim::Network network(simulator, world.topology);
+  const auto result = run_decentralized_epoch(simulator, network, world.candidates,
+                                              world.summaries, 3, 1);
+  const auto& stats = network.stats();
+  EXPECT_EQ(stats.messages[static_cast<std::size_t>(sim::TrafficClass::kSummary)],
+            4u * 3u);  // k*(k-1) with k = 4 holders
+  EXPECT_GT(result.summary_bytes, 0u);
+  // Completion bounded by the slowest pairwise half-RTT among holders.
+  double worst = 0.0;
+  for (topo::NodeId a = 0; a < 4; ++a) {
+    for (topo::NodeId b = 0; b < 4; ++b) {
+      if (a != b) worst = std::max(worst, world.topology.rtt_ms(a, b) / 2.0);
+    }
+  }
+  EXPECT_NEAR(result.completion_ms, worst, 1e-9);
+}
+
+TEST(Decentralized, SingleReplicaDecidesAlone) {
+  DecWorld world(8, 1, 11);
+  sim::Simulator simulator;
+  sim::Network network(simulator, world.topology);
+  const auto result = run_decentralized_epoch(simulator, network, world.candidates,
+                                              world.summaries, 2, 5);
+  EXPECT_TRUE(result.agreement);
+  EXPECT_EQ(result.per_replica.size(), 1u);
+  EXPECT_EQ(result.proposal.size(), 2u);
+  EXPECT_EQ(network.stats().messages[static_cast<std::size_t>(sim::TrafficClass::kSummary)],
+            0u);
+}
+
+TEST(Decentralized, ValidatesArguments) {
+  DecWorld world(8, 2, 1);
+  sim::Simulator simulator;
+  sim::Network network(simulator, world.topology);
+  EXPECT_THROW(
+      run_decentralized_epoch(simulator, network, {}, world.summaries, 2, 1),
+      std::invalid_argument);
+  EXPECT_THROW(run_decentralized_epoch(simulator, network, world.candidates, {}, 2, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geored::core

@@ -1,0 +1,130 @@
+#include "core/degree_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/random.h"
+
+namespace geored::core {
+namespace {
+
+/// Convex, non-increasing delay curve: total_demand / k style.
+GroupDemand curve(double demand, std::size_t min_degree, std::size_t max_degree) {
+  GroupDemand group;
+  for (std::size_t k = min_degree; k <= max_degree; ++k) {
+    group.delay_by_degree.push_back(demand / static_cast<double>(k));
+  }
+  return group;
+}
+
+AllocatorConfig config_with(std::size_t budget, std::size_t min_degree = 1,
+                            std::size_t max_degree = 5) {
+  AllocatorConfig config;
+  config.min_degree = min_degree;
+  config.max_degree = max_degree;
+  config.budget = budget;
+  return config;
+}
+
+TEST(DegreeAllocator, ValidatesInputs) {
+  EXPECT_THROW(allocate_replica_budget({}, config_with(5)), std::invalid_argument);
+  // Delay vector of the wrong length.
+  GroupDemand bad;
+  bad.delay_by_degree = {10.0};
+  EXPECT_THROW(allocate_replica_budget({bad}, config_with(5)), std::invalid_argument);
+  // Increasing delay curve.
+  GroupDemand rising;
+  rising.delay_by_degree = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_THROW(allocate_replica_budget({rising}, config_with(5)), std::invalid_argument);
+  // Budget below the minimum.
+  const std::vector<GroupDemand> groups{curve(100, 1, 5), curve(100, 1, 5)};
+  EXPECT_THROW(allocate_replica_budget(groups, config_with(1)), std::invalid_argument);
+}
+
+TEST(DegreeAllocator, MinimumBudgetGivesMinimumEverywhere) {
+  const std::vector<GroupDemand> groups{curve(100, 1, 5), curve(900, 1, 5)};
+  const auto allocation = allocate_replica_budget(groups, config_with(2));
+  EXPECT_EQ(allocation.degree_per_group, (std::vector<std::size_t>{1, 1}));
+  EXPECT_EQ(allocation.replicas_used, 2u);
+  EXPECT_DOUBLE_EQ(allocation.estimated_total_delay, 1000.0);
+}
+
+TEST(DegreeAllocator, ExtraReplicasFollowDemand) {
+  // Group 1 has 9x the demand: with budget 6 it should get most replicas.
+  const std::vector<GroupDemand> groups{curve(100, 1, 5), curve(900, 1, 5)};
+  const auto allocation = allocate_replica_budget(groups, config_with(6));
+  EXPECT_EQ(allocation.replicas_used, 6u);
+  EXPECT_GT(allocation.degree_per_group[1], allocation.degree_per_group[0]);
+  // Exact greedy outcome: gains for group1 are 450,150,75,45; group0: 50,...
+  // Order: 450, 150, 75, 50 -> degrees {2, 4}.
+  EXPECT_EQ(allocation.degree_per_group, (std::vector<std::size_t>{2, 4}));
+}
+
+TEST(DegreeAllocator, RespectsMaxDegree) {
+  const std::vector<GroupDemand> groups{curve(1000, 1, 3), curve(1, 1, 3)};
+  AllocatorConfig config = config_with(6, 1, 3);
+  const auto allocation = allocate_replica_budget(groups, config);
+  EXPECT_LE(allocation.degree_per_group[0], 3u);
+  EXPECT_LE(allocation.degree_per_group[1], 3u);
+  EXPECT_EQ(allocation.replicas_used, 6u);  // budget exactly fits 2 * max
+}
+
+TEST(DegreeAllocator, SurplusBudgetStopsAtMaxEverywhere) {
+  const std::vector<GroupDemand> groups{curve(100, 1, 3), curve(200, 1, 3)};
+  const auto allocation = allocate_replica_budget(groups, config_with(100, 1, 3));
+  EXPECT_EQ(allocation.degree_per_group, (std::vector<std::size_t>{3, 3}));
+  EXPECT_EQ(allocation.replicas_used, 6u);
+}
+
+TEST(DegreeAllocator, GreedyIsOptimalForConvexCurves) {
+  // Exhaustively check small instances: greedy matches brute force.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<GroupDemand> groups;
+    for (int g = 0; g < 3; ++g) {
+      groups.push_back(curve(rng.uniform(10.0, 1000.0), 1, 4));
+    }
+    const std::size_t budget = 3 + rng.below(9);  // 3..11 of max 12
+    const auto greedy = allocate_replica_budget(groups, config_with(budget, 1, 4));
+
+    // Brute force over all degree vectors.
+    double best = 1e18;
+    for (std::size_t a = 1; a <= 4; ++a) {
+      for (std::size_t b = 1; b <= 4; ++b) {
+        for (std::size_t c = 1; c <= 4; ++c) {
+          if (a + b + c > budget) continue;
+          const double total = groups[0].delay_by_degree[a - 1] +
+                               groups[1].delay_by_degree[b - 1] +
+                               groups[2].delay_by_degree[c - 1];
+          best = std::min(best, total);
+        }
+      }
+    }
+    EXPECT_NEAR(greedy.estimated_total_delay, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(DegreeAllocator, BeatsUniformOnSkewedDemand) {
+  std::vector<GroupDemand> groups;
+  Rng rng(11);
+  for (int g = 0; g < 16; ++g) {
+    // Zipf-ish demand skew.
+    groups.push_back(curve(1000.0 / static_cast<double>(g + 1), 1, 7));
+  }
+  const AllocatorConfig config = config_with(48, 1, 7);
+  const auto demand_aware = allocate_replica_budget(groups, config);
+  const auto uniform = allocate_uniform(groups, config);
+  EXPECT_LT(demand_aware.estimated_total_delay, uniform.estimated_total_delay);
+  EXPECT_LE(demand_aware.replicas_used, config.budget);
+}
+
+TEST(DegreeAllocator, UniformBaselineClampsToBounds) {
+  const std::vector<GroupDemand> groups{curve(10, 2, 4), curve(10, 2, 4)};
+  AllocatorConfig config = config_with(100, 2, 4);
+  const auto allocation = allocate_uniform(groups, config);
+  EXPECT_EQ(allocation.degree_per_group, (std::vector<std::size_t>{4, 4}));
+}
+
+}  // namespace
+}  // namespace geored::core

@@ -1,0 +1,302 @@
+#include "core/replication_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/random.h"
+
+namespace geored::core {
+namespace {
+
+/// Candidates on a 1-D line at x = 0, 100, 200, ..., 900.
+std::vector<place::CandidateInfo> line_candidates(std::size_t count = 10) {
+  std::vector<place::CandidateInfo> candidates;
+  for (std::size_t i = 0; i < count; ++i) {
+    candidates.push_back({static_cast<topo::NodeId>(i), Point{100.0 * i},
+                          std::numeric_limits<double>::infinity()});
+  }
+  return candidates;
+}
+
+ManagerConfig small_config(std::size_t k = 2) {
+  ManagerConfig config;
+  config.replication_degree = k;
+  config.summarizer.max_clusters = 4;
+  config.summarizer.min_absorb_radius = 10.0;
+  config.migration.min_relative_gain = 0.05;
+  config.migration.min_absolute_gain_ms = 1.0;
+  return config;
+}
+
+TEST(Manager, InitialPlacementIsValidRandomSubset) {
+  ReplicationManager manager(line_candidates(), small_config(3), 1);
+  EXPECT_EQ(manager.degree(), 3u);
+  const auto& placement = manager.placement();
+  ASSERT_EQ(placement.size(), 3u);
+  std::set<topo::NodeId> unique(placement.begin(), placement.end());
+  EXPECT_EQ(unique.size(), 3u);
+  for (const auto node : placement) EXPECT_LT(node, 10u);
+}
+
+TEST(Manager, RejectsBadConfig) {
+  EXPECT_THROW(ReplicationManager({}, small_config(), 1), std::invalid_argument);
+  ManagerConfig config = small_config();
+  config.replication_degree = 0;
+  EXPECT_THROW(ReplicationManager(line_candidates(), config, 1), std::invalid_argument);
+  config = small_config();
+  config.min_degree = 5;
+  config.max_degree = 2;
+  EXPECT_THROW(ReplicationManager(line_candidates(), config, 1), std::invalid_argument);
+}
+
+TEST(Manager, ServeRoutesToNearestReplica) {
+  ReplicationManager manager(line_candidates(), small_config(2), 7);
+  const auto& placement = manager.placement();
+  // A client exactly at a replica's coordinate is served by it.
+  for (const auto node : placement) {
+    EXPECT_EQ(manager.serve(Point{100.0 * node}), node);
+  }
+  EXPECT_EQ(manager.epoch_accesses(), placement.size());
+}
+
+TEST(Manager, RecordAccessRejectsNonReplica) {
+  ReplicationManager manager(line_candidates(), small_config(2), 7);
+  topo::NodeId not_a_replica = 0;
+  while (std::find(manager.placement().begin(), manager.placement().end(),
+                   not_a_replica) != manager.placement().end()) {
+    ++not_a_replica;
+  }
+  EXPECT_THROW(manager.record_access(not_a_replica, Point{0.0}), std::invalid_argument);
+  EXPECT_THROW(manager.summary_of(not_a_replica), std::invalid_argument);
+}
+
+TEST(Manager, EpochMigratesTowardsClientPopulation) {
+  // All clients sit near x=0; wherever the seeded initial replicas landed,
+  // after one epoch the placement must include candidate 0 or 1.
+  ReplicationManager manager(line_candidates(), small_config(2), 12345);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    manager.serve(Point{rng.normal(0.0, 20.0)});
+  }
+  const auto report = manager.run_epoch();
+  EXPECT_EQ(report.epoch_accesses, 2000u);
+  EXPECT_GT(report.summary_bytes, 0u);
+  const auto& placement = manager.placement();
+  const bool near_population =
+      std::find(placement.begin(), placement.end(), 0u) != placement.end() ||
+      std::find(placement.begin(), placement.end(), 1u) != placement.end();
+  EXPECT_TRUE(near_population);
+  // The adopted placement is what the manager now serves from.
+  EXPECT_EQ(report.adopted_placement, placement);
+}
+
+TEST(Manager, EpochReportsEstimatedDelays) {
+  ReplicationManager manager(line_candidates(), small_config(2), 99);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) manager.serve(Point{rng.normal(450.0, 30.0)});
+  const auto report = manager.run_epoch();
+  EXPECT_GE(report.old_estimated_delay_ms, 0.0);
+  EXPECT_GE(report.new_estimated_delay_ms, 0.0);
+  if (report.decision.migrate) {
+    EXPECT_LT(report.new_estimated_delay_ms, report.old_estimated_delay_ms);
+  }
+}
+
+TEST(Manager, StablePlacementIsNotChurned) {
+  // Once the placement matches the population, further epochs must not move
+  // replicas (the migration gate rejects no-gain proposals).
+  ReplicationManager manager(line_candidates(), small_config(2), 3);
+  Rng rng(5);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 1000; ++i) {
+      manager.serve(Point{rng.normal(0.0, 15.0)});
+      manager.serve(Point{rng.normal(900.0, 15.0)});
+    }
+    manager.run_epoch();
+  }
+  const auto stable = manager.placement();
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 1000; ++i) {
+      manager.serve(Point{rng.normal(0.0, 15.0)});
+      manager.serve(Point{rng.normal(900.0, 15.0)});
+    }
+    const auto report = manager.run_epoch();
+    EXPECT_FALSE(report.decision.migrate) << report.decision.reason;
+    EXPECT_EQ(manager.placement(), stable);
+  }
+}
+
+TEST(Manager, SummariesSurviveMigrationByRedistribution) {
+  ReplicationManager manager(line_candidates(), small_config(2), 12345);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) manager.serve(Point{rng.normal(0.0, 10.0)});
+  const auto report = manager.run_epoch();
+  if (report.decision.migrate) {
+    // Knowledge of the population was handed to the new replicas.
+    std::uint64_t retained = 0;
+    for (const auto node : manager.placement()) {
+      for (const auto& micro : manager.summary_of(node)) retained += micro.count();
+    }
+    EXPECT_EQ(retained, 1000u);
+  }
+}
+
+TEST(Manager, DynamicDegreeGrowsAndShrinksWithDemand) {
+  ManagerConfig config = small_config(2);
+  config.dynamic_degree = true;
+  config.grow_accesses_per_replica = 100.0;
+  config.shrink_accesses_per_replica = 10.0;
+  config.min_degree = 1;
+  config.max_degree = 4;
+  ReplicationManager manager(line_candidates(), config, 21);
+  Rng rng(9);
+
+  // Heavy demand: degree grows 2 -> 3.
+  for (int i = 0; i < 500; ++i) manager.serve(Point{rng.uniform(0.0, 900.0)});
+  auto report = manager.run_epoch();
+  EXPECT_EQ(report.degree, 3u);
+  EXPECT_EQ(manager.placement().size(), 3u);
+
+  // Light demand: degree shrinks.
+  for (int i = 0; i < 5; ++i) manager.serve(Point{rng.uniform(0.0, 900.0)});
+  report = manager.run_epoch();
+  EXPECT_EQ(report.degree, 2u);
+  EXPECT_EQ(manager.placement().size(), 2u);
+
+  // Demand bounds are respected.
+  report = manager.run_epoch();
+  EXPECT_GE(report.degree, config.min_degree);
+}
+
+TEST(Manager, DeterministicAcrossIdenticalRuns) {
+  const auto run = [] {
+    ReplicationManager manager(line_candidates(), small_config(3), 77);
+    Rng rng(13);
+    for (int i = 0; i < 800; ++i) manager.serve(Point{rng.uniform(0.0, 900.0)});
+    manager.run_epoch();
+    return manager.placement();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Manager, ExcludedCandidatesAreNeverChosen) {
+  ReplicationManager manager(line_candidates(), small_config(3), 7);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) manager.serve(Point{rng.uniform(0.0, 900.0)});
+  std::set<topo::NodeId> excluded{0, 1, 2, 3, 4};
+  const auto report = manager.run_epoch(excluded);
+  for (const auto node : report.adopted_placement) {
+    EXPECT_FALSE(excluded.contains(node)) << "dc" << node;
+  }
+}
+
+TEST(Manager, FailedReplicaForcesReplacement) {
+  ReplicationManager manager(line_candidates(), small_config(2), 7);
+  Rng rng(5);
+  // Converge to a stable placement first.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 500; ++i) manager.serve(Point{rng.uniform(0.0, 900.0)});
+    manager.run_epoch();
+  }
+  const auto stable = manager.placement();
+  // Fail one of the current replicas: the epoch must move off it even though
+  // the proposal's quality gain alone would not clear the migration gate.
+  for (int i = 0; i < 500; ++i) manager.serve(Point{rng.uniform(0.0, 900.0)});
+  const std::set<topo::NodeId> excluded{stable.front()};
+  const auto report = manager.run_epoch(excluded);
+  EXPECT_EQ(report.adopted_placement.size(), stable.size());
+  for (const auto node : report.adopted_placement) {
+    EXPECT_NE(node, stable.front());
+  }
+}
+
+TEST(Manager, AllCandidatesExcludedThrows) {
+  ReplicationManager manager(line_candidates(2), small_config(1), 7);
+  EXPECT_THROW(manager.run_epoch({0, 1}), std::invalid_argument);
+}
+
+TEST(Manager, WarmStartKeepsProposalsStableAcrossEpochSeeds) {
+  // Same three-population workload every epoch: proposals must not churn
+  // even though each epoch's k-means uses a fresh seed.
+  ManagerConfig config = small_config(3);
+  config.warm_start_macro_clusters = true;
+  ReplicationManager manager(line_candidates(), config, 7);
+  Rng rng(5);
+  const auto feed = [&] {
+    for (int i = 0; i < 900; ++i) {
+      manager.serve(Point{rng.normal(0.0, 15.0)});
+      manager.serve(Point{rng.normal(430.0, 15.0)});
+      manager.serve(Point{rng.normal(900.0, 15.0)});
+    }
+  };
+  feed();
+  manager.run_epoch();
+  const auto settled = manager.placement();
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    feed();
+    const auto report = manager.run_epoch();
+    EXPECT_EQ(report.proposed_placement.size(), settled.size());
+    // The proposal itself (not just the gated outcome) stays put.
+    std::set<topo::NodeId> proposed(report.proposed_placement.begin(),
+                                    report.proposed_placement.end());
+    std::set<topo::NodeId> expected(settled.begin(), settled.end());
+    EXPECT_EQ(proposed, expected) << "epoch " << epoch;
+  }
+}
+
+TEST(Manager, CheckpointRestoreResumesIdentically) {
+  // A coordinator checkpoints mid-epoch; a stand-by restores and must
+  // produce the exact same epoch outcome as the original would have.
+  ReplicationManager primary(line_candidates(), small_config(2), 7);
+  Rng rng(5);
+  for (int i = 0; i < 800; ++i) primary.serve(Point{rng.normal(100.0, 40.0)});
+
+  ByteWriter writer;
+  primary.save(writer);
+
+  ReplicationManager standby(line_candidates(), small_config(2), 7);
+  ByteReader reader(writer.bytes());
+  standby.restore(reader);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_EQ(standby.placement(), primary.placement());
+  EXPECT_EQ(standby.epoch_accesses(), primary.epoch_accesses());
+
+  const auto primary_report = primary.run_epoch();
+  const auto standby_report = standby.run_epoch();
+  EXPECT_EQ(standby_report.adopted_placement, primary_report.adopted_placement);
+  EXPECT_EQ(standby_report.decision.migrate, primary_report.decision.migrate);
+  EXPECT_DOUBLE_EQ(standby_report.new_estimated_delay_ms,
+                   primary_report.new_estimated_delay_ms);
+}
+
+TEST(Manager, RestoreRejectsForeignPlacementAndKeepsState) {
+  ReplicationManager primary(line_candidates(), small_config(2), 7);
+  ByteWriter writer;
+  primary.save(writer);
+
+  // A manager over a *different* candidate set cannot adopt the checkpoint.
+  std::vector<place::CandidateInfo> other_candidates;
+  for (topo::NodeId id = 100; id < 105; ++id) {
+    other_candidates.push_back({id, Point{10.0 * id},
+                                std::numeric_limits<double>::infinity()});
+  }
+  ReplicationManager other(other_candidates, small_config(2), 7);
+  const auto before = other.placement();
+  ByteReader reader(writer.bytes());
+  EXPECT_THROW(other.restore(reader), std::invalid_argument);
+  EXPECT_EQ(other.placement(), before);  // unchanged after the failed restore
+}
+
+TEST(Manager, EpochWithNoAccessesIsSafe) {
+  ReplicationManager manager(line_candidates(), small_config(2), 31);
+  const auto before = manager.placement();
+  const auto report = manager.run_epoch();
+  EXPECT_EQ(report.epoch_accesses, 0u);
+  EXPECT_EQ(manager.placement().size(), before.size());
+}
+
+}  // namespace
+}  // namespace geored::core

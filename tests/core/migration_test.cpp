@@ -1,0 +1,80 @@
+#include "core/migration.h"
+
+#include <gtest/gtest.h>
+
+namespace geored::core {
+namespace {
+
+MigrationPolicy default_policy() {
+  MigrationPolicy policy;
+  policy.object_size_gb = 2.0;
+  policy.cost_per_gb_usd = 0.10;
+  policy.min_relative_gain = 0.05;
+  policy.min_absolute_gain_ms = 1.0;
+  return policy;
+}
+
+TEST(Migration, AcceptsClearImprovement) {
+  const auto decision = decide_migration(default_policy(), 100.0, 60.0, 2);
+  EXPECT_TRUE(decision.migrate);
+  EXPECT_DOUBLE_EQ(decision.gain_ms, 40.0);
+  EXPECT_DOUBLE_EQ(decision.relative_gain, 0.4);
+  EXPECT_DOUBLE_EQ(decision.cost_usd, 2 * 2.0 * 0.10);
+  EXPECT_FALSE(decision.reason.empty());
+}
+
+TEST(Migration, RejectsNoOpProposal) {
+  const auto decision = decide_migration(default_policy(), 100.0, 60.0, 0);
+  EXPECT_FALSE(decision.migrate);
+  EXPECT_DOUBLE_EQ(decision.cost_usd, 0.0);
+}
+
+TEST(Migration, RejectsBelowAbsoluteFloor) {
+  const auto decision = decide_migration(default_policy(), 10.0, 9.5, 1);
+  EXPECT_FALSE(decision.migrate);  // gain 0.5 ms < 1 ms floor
+  EXPECT_NE(decision.reason.find("absolute floor"), std::string::npos);
+}
+
+TEST(Migration, RejectsBelowRelativeThreshold) {
+  const auto decision = decide_migration(default_policy(), 1000.0, 990.0, 1);
+  EXPECT_FALSE(decision.migrate);  // 1% < 5% threshold despite 10 ms gain
+  EXPECT_NE(decision.reason.find("relative gain"), std::string::npos);
+}
+
+TEST(Migration, RejectsRegressions) {
+  const auto decision = decide_migration(default_policy(), 50.0, 70.0, 1);
+  EXPECT_FALSE(decision.migrate);
+  EXPECT_LT(decision.gain_ms, 0.0);
+}
+
+TEST(Migration, CostGateBlocksExpensiveSmallWins) {
+  MigrationPolicy policy = default_policy();
+  policy.max_usd_per_ms_gain = 0.01;  // very stingy
+  // 5 ms gain for $0.60 (3 moves x 2 GB x $0.10) -> $0.12/ms > $0.01/ms.
+  const auto decision = decide_migration(policy, 100.0, 95.0, 3);
+  EXPECT_FALSE(decision.migrate);
+  EXPECT_NE(decision.reason.find("cost"), std::string::npos);
+  // With a generous budget the same move is accepted.
+  policy.max_usd_per_ms_gain = 1.0;
+  EXPECT_TRUE(decide_migration(policy, 100.0, 95.0, 3).migrate);
+}
+
+TEST(Migration, CostGateDisabledByDefault) {
+  // Huge move count, tiny dollar cap unset: only quality gates apply.
+  const auto decision = decide_migration(default_policy(), 100.0, 50.0, 100);
+  EXPECT_TRUE(decision.migrate);
+  EXPECT_DOUBLE_EQ(decision.cost_usd, 100 * 2.0 * 0.10);
+}
+
+TEST(Migration, ZeroOldDelayEdgeCase) {
+  const auto decision = decide_migration(default_policy(), 0.0, 0.0, 1);
+  EXPECT_FALSE(decision.migrate);
+  EXPECT_DOUBLE_EQ(decision.relative_gain, 0.0);
+}
+
+TEST(Migration, RejectsNegativeDelays) {
+  EXPECT_THROW(decide_migration(default_policy(), -1.0, 0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geored::core

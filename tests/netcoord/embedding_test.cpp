@@ -1,0 +1,93 @@
+#include "netcoord/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/planetlab_model.h"
+
+namespace geored::coord {
+namespace {
+
+topo::Topology test_topology(std::size_t nodes = 100, std::uint64_t seed = 42) {
+  topo::PlanetLabModelConfig config;
+  config.node_count = nodes;
+  return topo::generate_planetlab_like(config, seed);
+}
+
+TEST(Embedding, VivaldiDeterministicInSeed) {
+  const auto topology = test_topology(40);
+  GossipConfig gossip;
+  gossip.rounds = 32;
+  const auto a = run_vivaldi(topology, VivaldiConfig{}, gossip, 9);
+  const auto b = run_vivaldi(topology, VivaldiConfig{}, gossip, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].position, b[i].position);
+    EXPECT_EQ(a[i].height, b[i].height);
+  }
+}
+
+TEST(Embedding, DifferentSeedsGiveDifferentCoordinates) {
+  const auto topology = test_topology(40);
+  GossipConfig gossip;
+  gossip.rounds = 32;
+  const auto a = run_vivaldi(topology, VivaldiConfig{}, gossip, 1);
+  const auto b = run_vivaldi(topology, VivaldiConfig{}, gossip, 2);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].position != b[i].position) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Embedding, MoreRoundsDoNotDegradeAccuracy) {
+  const auto topology = test_topology(80);
+  GossipConfig short_gossip;
+  short_gossip.rounds = 16;
+  GossipConfig long_gossip;
+  long_gossip.rounds = 256;
+  const auto coarse =
+      evaluate_embedding(topology, run_rnp(topology, RnpConfig{}, short_gossip, 3));
+  const auto fine =
+      evaluate_embedding(topology, run_rnp(topology, RnpConfig{}, long_gossip, 3));
+  EXPECT_LT(fine.absolute_error_ms.p50, coarse.absolute_error_ms.p50);
+}
+
+TEST(Embedding, EvaluateRejectsSizeMismatch) {
+  const auto topology = test_topology(10);
+  std::vector<NetworkCoordinate> coords(5, NetworkCoordinate(3));
+  EXPECT_THROW(evaluate_embedding(topology, coords), std::invalid_argument);
+}
+
+TEST(Embedding, PerfectEmbeddingScoresZero) {
+  // A topology whose RTTs are exactly the distances of known coordinates.
+  std::vector<Point> positions{{0.0, 0.0}, {30.0, 0.0}, {0.0, 40.0}, {30.0, 40.0}};
+  SymMatrix rtt(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      rtt.set(i, j, positions[i].distance_to(positions[j]));
+    }
+  }
+  topo::Topology topology(std::vector<topo::NodeInfo>(4), std::move(rtt), {});
+  std::vector<NetworkCoordinate> coords;
+  for (const auto& p : positions) coords.emplace_back(p, 0.0);
+  const auto quality = evaluate_embedding(topology, coords);
+  EXPECT_NEAR(quality.absolute_error_ms.max, 0.0, 1e-9);
+  EXPECT_NEAR(quality.relative_error.max, 0.0, 1e-12);
+}
+
+TEST(Embedding, QualityToStringMentionsBothMetrics) {
+  const auto topology = test_topology(20);
+  GossipConfig gossip;
+  gossip.rounds = 16;
+  const auto quality =
+      evaluate_embedding(topology, run_vivaldi(topology, VivaldiConfig{}, gossip, 1));
+  const auto text = quality.to_string();
+  EXPECT_NE(text.find("abs error"), std::string::npos);
+  EXPECT_NE(text.find("rel error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geored::coord

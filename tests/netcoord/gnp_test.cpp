@@ -1,0 +1,80 @@
+#include "netcoord/gnp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netcoord/embedding.h"
+#include "topology/planetlab_model.h"
+
+namespace geored::coord {
+namespace {
+
+topo::Topology small_topology(std::uint64_t seed = 42) {
+  topo::PlanetLabModelConfig config;
+  config.node_count = 60;
+  return topo::generate_planetlab_like(config, seed);
+}
+
+TEST(Gnp, LandmarkSelectionIsDistinctAndSpread) {
+  const auto topology = small_topology();
+  const auto landmarks = select_landmarks(topology, 8);
+  ASSERT_EQ(landmarks.size(), 8u);
+  std::set<topo::NodeId> unique(landmarks.begin(), landmarks.end());
+  EXPECT_EQ(unique.size(), 8u);
+
+  // Farthest-point selection should cover the space: the minimum pairwise
+  // landmark distance must exceed the topology's 10th-percentile RTT.
+  std::vector<double> all_rtts;
+  for (std::size_t i = 0; i < topology.size(); ++i) {
+    for (std::size_t j = i + 1; j < topology.size(); ++j) all_rtts.push_back(topology.rtt_ms(i, j));
+  }
+  std::sort(all_rtts.begin(), all_rtts.end());
+  const double p10 = all_rtts[all_rtts.size() / 10];
+  double min_pair = 1e18;
+  for (std::size_t i = 0; i < landmarks.size(); ++i) {
+    for (std::size_t j = i + 1; j < landmarks.size(); ++j) {
+      min_pair = std::min(min_pair, topology.rtt_ms(landmarks[i], landmarks[j]));
+    }
+  }
+  EXPECT_GT(min_pair, p10);
+}
+
+TEST(Gnp, RejectsBadLandmarkCounts) {
+  const auto topology = small_topology();
+  EXPECT_THROW(select_landmarks(topology, 1), std::invalid_argument);
+  EXPECT_THROW(select_landmarks(topology, topology.size() + 1), std::invalid_argument);
+}
+
+TEST(Gnp, EmbeddingIsReasonablyAccurate) {
+  const auto topology = small_topology();
+  GnpConfig config;
+  config.landmark_count = 10;
+  const auto coords = run_gnp(topology, config);
+  ASSERT_EQ(coords.size(), topology.size());
+  for (const auto& c : coords) {
+    ASSERT_EQ(c.position.dim(), config.dimensions);
+    ASSERT_TRUE(c.position.is_finite());
+  }
+  const auto quality = evaluate_embedding(topology, coords);
+  // Landmark-based embedding should predict within ~25 ms at the median on
+  // this topology (GNP's published accuracy regime).
+  EXPECT_LT(quality.absolute_error_ms.p50, 25.0) << quality.to_string();
+}
+
+TEST(Gnp, DeterministicOutput) {
+  const auto topology = small_topology();
+  GnpConfig config;
+  config.landmark_count = 6;
+  config.landmark_iterations = 3000;
+  config.node_iterations = 500;
+  const auto a = run_gnp(topology, config);
+  const auto b = run_gnp(topology, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].position, b[i].position);
+  }
+}
+
+}  // namespace
+}  // namespace geored::coord

@@ -1,0 +1,102 @@
+#include "placement/evaluate.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/topology.h"
+
+namespace geored::place {
+namespace {
+
+/// Hand-built 5-node line topology: rtt(i,j) = 10*|i-j|.
+topo::Topology line_topology() {
+  constexpr std::size_t kN = 5;
+  SymMatrix rtt(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = i + 1; j < kN; ++j) {
+      rtt.set(i, j, 10.0 * static_cast<double>(j - i));
+    }
+  }
+  return topo::Topology(std::vector<topo::NodeInfo>(kN), std::move(rtt), {});
+}
+
+std::vector<ClientRecord> line_clients() {
+  // Clients at nodes 0 and 4, client 0 making 3 accesses, client 4 one.
+  ClientRecord c0;
+  c0.client = 0;
+  c0.coords = Point{0.0};
+  c0.access_count = 3;
+  ClientRecord c4;
+  c4.client = 4;
+  c4.coords = Point{40.0};
+  c4.access_count = 1;
+  return {c0, c4};
+}
+
+TEST(Evaluate, TrueTotalDelayUsesClosestReplica) {
+  const auto topology = line_topology();
+  const auto clients = line_clients();
+  // Replicas at 1 and 3: client0 -> node1 (10ms) x3, client4 -> node3 (10ms) x1.
+  EXPECT_DOUBLE_EQ(true_total_delay(topology, {1, 3}, clients), 40.0);
+  // Single replica at 2: client0 20ms x3 + client4 20ms x1 = 80.
+  EXPECT_DOUBLE_EQ(true_total_delay(topology, {2}, clients), 80.0);
+}
+
+TEST(Evaluate, TrueAverageDelayNormalizesByAccesses) {
+  const auto topology = line_topology();
+  const auto clients = line_clients();
+  EXPECT_DOUBLE_EQ(true_average_delay(topology, {1, 3}, clients), 10.0);
+  EXPECT_DOUBLE_EQ(true_average_delay(topology, {2}, clients), 20.0);
+}
+
+TEST(Evaluate, QuorumUsesOrderStatistic) {
+  const auto topology = line_topology();
+  const auto clients = line_clients();
+  // Replicas at 1 and 3. With quorum 2 every client waits for its 2nd
+  // closest replica: client0 -> node3 (30ms), client4 -> node1 (30ms).
+  EXPECT_DOUBLE_EQ(true_total_delay(topology, {1, 3}, clients, 2), 30.0 * 3 + 30.0);
+  EXPECT_THROW(true_total_delay(topology, {1, 3}, clients, 3), std::invalid_argument);
+  EXPECT_THROW(true_total_delay(topology, {1}, clients, 0), std::invalid_argument);
+}
+
+TEST(Evaluate, EmptyPlacementRejected) {
+  const auto topology = line_topology();
+  EXPECT_THROW(true_total_delay(topology, {}, line_clients()), std::invalid_argument);
+}
+
+TEST(Evaluate, AverageOverZeroAccessesRejected) {
+  const auto topology = line_topology();
+  std::vector<ClientRecord> clients = line_clients();
+  for (auto& c : clients) c.access_count = 0;
+  EXPECT_THROW(true_average_delay(topology, {1}, clients), std::invalid_argument);
+}
+
+TEST(Evaluate, EstimatedDelayUsesCoordinates) {
+  std::vector<CandidateInfo> candidates;
+  candidates.push_back({7, Point{0.0}, 0.0});
+  candidates.push_back({8, Point{100.0}, 0.0});
+  ClientRecord client;
+  client.client = 99;
+  client.coords = Point{10.0};
+  client.access_count = 2;
+  // Closest replica (node 7) is 10 away; 2 accesses -> 20.
+  EXPECT_DOUBLE_EQ(estimated_total_delay({7, 8}, candidates, {client}), 20.0);
+  // A placement referencing a non-candidate id is rejected.
+  EXPECT_THROW(estimated_total_delay({5}, candidates, {client}), std::invalid_argument);
+}
+
+TEST(Evaluate, ValidatePlacementCatchesViolations) {
+  PlacementInput input;
+  input.candidates = {{1, Point{0.0}, 0.0}, {2, Point{1.0}, 0.0}, {3, Point{2.0}, 0.0}};
+  input.k = 2;
+  EXPECT_NO_THROW(validate_placement({1, 3}, input));
+  EXPECT_THROW(validate_placement({1}, input), std::invalid_argument);        // too small
+  EXPECT_THROW(validate_placement({1, 2, 3}, input), std::invalid_argument);  // too big
+  EXPECT_THROW(validate_placement({1, 1}, input), std::invalid_argument);     // duplicate
+  EXPECT_THROW(validate_placement({1, 9}, input), std::invalid_argument);     // unknown
+  // k larger than the candidate pool: expected size is the pool size.
+  input.k = 5;
+  EXPECT_NO_THROW(validate_placement({1, 2, 3}, input));
+}
+
+}  // namespace
+}  // namespace geored::place

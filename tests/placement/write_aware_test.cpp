@@ -1,0 +1,147 @@
+#include "placement/write_aware.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.h"
+#include "placement/evaluate.h"
+#include "placement/random_placement.h"
+#include "placement/spread.h"
+#include "topology/topology.h"
+
+namespace geored::place {
+namespace {
+
+/// Two client populations at the ends of a line; candidates along it.
+struct WriteWorld {
+  topo::Topology topology;
+  PlacementInput input;
+
+  WriteWorld() : topology(topo::Topology(std::vector<topo::NodeInfo>(0), SymMatrix(0), {})) {
+    // Candidates at x = 0, 100, ..., 400 (ids 0..4), clients at 0 and 400.
+    std::vector<Point> positions;
+    for (int i = 0; i < 5; ++i) positions.push_back(Point{100.0 * i});
+    positions.push_back(Point{0.0});    // client node 5
+    positions.push_back(Point{400.0});  // client node 6
+    SymMatrix rtt(positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      for (std::size_t j = i + 1; j < positions.size(); ++j) {
+        rtt.set(i, j, std::max(0.1, positions[i].distance_to(positions[j])));
+      }
+    }
+    topology =
+        topo::Topology(std::vector<topo::NodeInfo>(positions.size()), std::move(rtt), {});
+    for (topo::NodeId id = 0; id < 5; ++id) {
+      input.candidates.push_back({id, positions[id],
+                                  std::numeric_limits<double>::infinity()});
+    }
+    for (topo::NodeId id = 5; id < 7; ++id) {
+      ClientRecord record;
+      record.client = id;
+      record.coords = positions[id];
+      record.access_count = 100;
+      input.clients.push_back(record);
+    }
+    input.k = 2;
+    input.seed = 1;
+    input.topology = &topology;
+  }
+};
+
+TEST(WriteAware, ObjectiveMatchesHandComputation) {
+  const WriteWorld world;
+  // Replicas at 0 and 400; clients at 0 and 400, 100 accesses each.
+  // Reads: both clients have a replica at distance 0. Writes: farthest
+  // replica is 400 away for both.
+  const Placement placement{0, 4};
+  EXPECT_DOUBLE_EQ(estimated_write_aware_delay(placement, world.input.candidates,
+                                               world.input.clients, 0.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(estimated_write_aware_delay(placement, world.input.candidates,
+                                               world.input.clients, 1.0),
+                   2 * 100 * 400.0);
+  EXPECT_DOUBLE_EQ(estimated_write_aware_delay(placement, world.input.candidates,
+                                               world.input.clients, 0.25),
+                   0.75 * 0.0 + 0.25 * 2 * 100 * 400.0);
+  // True-matrix version agrees up to the 0.1 ms RTT floor applied to
+  // coincident nodes.
+  EXPECT_NEAR(true_write_aware_delay(world.topology, placement, world.input.clients, 0.25),
+              estimated_write_aware_delay(placement, world.input.candidates,
+                                          world.input.clients, 0.25),
+              0.1 * 200);
+}
+
+TEST(WriteAware, ValidatesArguments) {
+  const WriteWorld world;
+  EXPECT_THROW(estimated_write_aware_delay({}, world.input.candidates,
+                                           world.input.clients, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(estimated_write_aware_delay({0}, world.input.candidates,
+                                           world.input.clients, 1.5),
+               std::invalid_argument);
+  WriteAwareConfig config;
+  config.write_fraction = -0.1;
+  EXPECT_THROW(WriteAwarePlacement{config}, std::invalid_argument);
+}
+
+TEST(WriteAware, ReadOnlySpreadsWriteHeavyCollapses) {
+  const WriteWorld world;
+  // Read-only: serve each population locally -> replicas at the ends.
+  WriteAwareConfig read_only;
+  read_only.write_fraction = 0.0;
+  const auto spread_placement = WriteAwarePlacement(
+      read_only, std::make_unique<RandomPlacement>()).place(world.input);
+  EXPECT_GE(min_pairwise_spread(spread_placement, world.input.candidates), 300.0);
+
+  // Write-heavy: every write pays the farthest replica, so the replicas
+  // huddle together (several huddled placements tie at the optimum of 480
+  // weighted ms; all have pairwise spread 100, vs 400 for the read layout).
+  WriteAwareConfig write_heavy;
+  write_heavy.write_fraction = 0.9;
+  const auto huddled_placement = WriteAwarePlacement(
+      write_heavy, std::make_unique<RandomPlacement>()).place(world.input);
+  EXPECT_LE(min_pairwise_spread(huddled_placement, world.input.candidates), 100.0);
+  // And the huddle is strictly better than the read-optimal spread layout
+  // under the write-heavy objective.
+  EXPECT_LT(estimated_write_aware_delay(huddled_placement, world.input.candidates,
+                                        world.input.clients, 0.9),
+            estimated_write_aware_delay(spread_placement, world.input.candidates,
+                                        world.input.clients, 0.9));
+}
+
+TEST(WriteAware, NeverWorseThanSeedOnTheCombinedObjective) {
+  Rng rng(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    WriteWorld world;
+    world.input.seed = static_cast<std::uint64_t>(trial);
+    const double f = rng.uniform(0.0, 1.0);
+    WriteAwareConfig config;
+    config.write_fraction = f;
+    const auto seed_placement = RandomPlacement().place(world.input);
+    const auto refined = WriteAwarePlacement(
+        config, std::make_unique<RandomPlacement>()).place(world.input);
+    EXPECT_LE(estimated_write_aware_delay(refined, world.input.candidates,
+                                          world.input.clients, f),
+              estimated_write_aware_delay(seed_placement, world.input.candidates,
+                                          world.input.clients, f) + 1e-9);
+    EXPECT_NO_THROW(validate_placement(refined, world.input));
+  }
+}
+
+TEST(WriteAware, ZeroFractionMatchesLatencyObjective) {
+  // With f = 0 the combined objective equals the paper's read objective.
+  const WriteWorld world;
+  const Placement placement{1, 3};
+  EXPECT_DOUBLE_EQ(
+      estimated_write_aware_delay(placement, world.input.candidates, world.input.clients,
+                                  0.0),
+      estimated_total_delay(placement, world.input.candidates, world.input.clients));
+}
+
+TEST(WriteAware, NameReflectsComposition) {
+  EXPECT_EQ(WriteAwarePlacement().name(), "online clustering +write-aware");
+}
+
+}  // namespace
+}  // namespace geored::place

@@ -1,0 +1,64 @@
+#include "store/version.h"
+
+#include <gtest/gtest.h>
+
+namespace geored::store {
+namespace {
+
+TEST(Version, TotalOrder) {
+  const Version a{1, 0}, b{2, 0}, c{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);  // same counter, higher writer id wins the tie
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a, (Version{1, 0}));
+}
+
+TEST(Version, ZeroIsSmallest) {
+  EXPECT_LT(Version::zero(), (Version{1, 0}));
+  EXPECT_LT(Version::zero(), (Version{0, 1}));
+}
+
+TEST(Version, ToStringFormat) {
+  EXPECT_EQ((Version{5, 3}).to_string(), "5@3");
+}
+
+TEST(VersionedValue, ExistsOnlyWithRealVersion) {
+  VersionedValue empty;
+  EXPECT_FALSE(empty.exists());
+  VersionedValue value{"x", {1, 0}};
+  EXPECT_TRUE(value.exists());
+}
+
+TEST(LamportClock, MintsStrictlyIncreasingVersions) {
+  LamportClock clock(7);
+  const Version a = clock.next();
+  const Version b = clock.next();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.writer, 7u);
+}
+
+TEST(LamportClock, AdvancesPastObservedVersions) {
+  LamportClock clock(1);
+  clock.observe({100, 2});
+  const Version next = clock.next();
+  EXPECT_GT(next, (Version{100, 2}));
+  EXPECT_EQ(next.logical, 101u);
+  // Observing something old does not rewind.
+  clock.observe({5, 9});
+  EXPECT_EQ(clock.next().logical, 102u);
+}
+
+TEST(LamportClock, ConcurrentWritersResolveDeterministically) {
+  // Two writers minting from the same observation produce versions ordered
+  // by writer id — LWW convergence needs exactly this determinism.
+  LamportClock low(1), high(2);
+  low.observe({10, 0});
+  high.observe({10, 0});
+  const Version a = low.next();
+  const Version b = high.next();
+  EXPECT_EQ(a.logical, b.logical);
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace geored::store

@@ -1,0 +1,52 @@
+#include "topology/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace geored::topo {
+namespace {
+
+TEST(Geo, HaversineZeroForSamePoint) {
+  const GeoLocation nyc{40.71, -74.01};
+  EXPECT_DOUBLE_EQ(haversine_km(nyc, nyc), 0.0);
+}
+
+TEST(Geo, HaversineIsSymmetric) {
+  const GeoLocation a{40.71, -74.01};
+  const GeoLocation b{51.51, -0.13};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Geo, KnownCityDistances) {
+  const GeoLocation nyc{40.7128, -74.0060};
+  const GeoLocation london{51.5074, -0.1278};
+  const GeoLocation tokyo{35.6762, 139.6503};
+  const GeoLocation sydney{-33.8688, 151.2093};
+  // Published great-circle distances (spherical Earth, ~0.5% tolerance).
+  EXPECT_NEAR(haversine_km(nyc, london), 5570.0, 30.0);
+  EXPECT_NEAR(haversine_km(nyc, tokyo), 10850.0, 60.0);
+  EXPECT_NEAR(haversine_km(london, sydney), 16990.0, 90.0);
+}
+
+TEST(Geo, AntipodalIsHalfCircumference) {
+  const GeoLocation a{0.0, 0.0};
+  const GeoLocation b{0.0, 180.0};
+  EXPECT_NEAR(haversine_km(a, b), 6371.0 * 3.14159265, 1.0);
+}
+
+TEST(Geo, RttFloorScalesWithDistance) {
+  const GeoLocation nyc{40.7128, -74.0060};
+  const GeoLocation london{51.5074, -0.1278};
+  // ~5570 km at 100 km per ms of RTT -> ~56 ms.
+  EXPECT_NEAR(geodesic_rtt_floor_ms(nyc, london), 55.7, 0.5);
+  EXPECT_DOUBLE_EQ(geodesic_rtt_floor_ms(nyc, nyc), 0.0);
+}
+
+TEST(Geo, CrossingTheDateLine) {
+  const GeoLocation east{0.0, 179.0};
+  const GeoLocation west{0.0, -179.0};
+  // 2 degrees of longitude at the equator ~ 222 km, not ~39,700 km.
+  EXPECT_NEAR(haversine_km(east, west), 222.4, 2.0);
+}
+
+}  // namespace
+}  // namespace geored::topo

@@ -1,0 +1,34 @@
+// Compile-and-smoke test of the umbrella header: everything a downstream
+// application needs is reachable through one include, and the core loop
+// works end to end through it.
+#include "geored.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndThroughThePublicApi) {
+  using namespace geored;
+  topo::PlanetLabModelConfig topo_config;
+  topo_config.node_count = 60;
+  const auto topology = topo::generate_planetlab_like(topo_config, 1);
+  coord::GossipConfig gossip;
+  gossip.rounds = 64;
+  const auto coords = coord::run_rnp(topology, coord::RnpConfig{}, gossip, 1);
+
+  std::vector<place::CandidateInfo> dcs;
+  for (topo::NodeId id = 0; id < 10; ++id) {
+    dcs.push_back({id, coords[id].position, std::numeric_limits<double>::infinity()});
+  }
+  core::ManagerConfig config;
+  config.replication_degree = 2;
+  core::ReplicationManager manager(dcs, config, 1);
+  for (topo::NodeId client = 10; client < 60; ++client) {
+    manager.serve(coords[client].position);
+  }
+  const auto report = manager.run_epoch();
+  EXPECT_EQ(report.epoch_accesses, 50u);
+  EXPECT_EQ(manager.placement().size(), 2u);
+}
+
+}  // namespace

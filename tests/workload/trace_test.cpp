@@ -1,0 +1,170 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+namespace geored::wl {
+namespace {
+
+TEST(Trace, AppendEnforcesTimeOrder) {
+  Trace trace;
+  trace.append({10.0, 0, 1, 100, false});
+  trace.append({10.0, 1, 2, 100, true});  // equal timestamps allowed
+  trace.append({20.0, 0, 1, 100, false});
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.duration_ms(), 20.0);
+  EXPECT_THROW(trace.append({5.0, 0, 1, 100, false}), std::invalid_argument);
+}
+
+TEST(Trace, ConstructorValidatesOrder) {
+  EXPECT_THROW(Trace({{10.0, 0, 1, 1, false}, {5.0, 0, 1, 1, false}}),
+               std::invalid_argument);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  Trace trace;
+  trace.append({1.5, 3, 42, 256, false});
+  trace.append({2.25, 7, 99, 1024, true});
+  std::stringstream stream;
+  trace.save(stream);
+  const Trace loaded = Trace::load(stream);
+  EXPECT_EQ(loaded.events(), trace.events());
+}
+
+TEST(Trace, LoadRejectsMalformedStreams) {
+  std::stringstream wrong_magic("other-format 1\n1 2 3 4 r\n");
+  EXPECT_THROW(Trace::load(wrong_magic), std::invalid_argument);
+  std::stringstream truncated("geored-trace-v1 2\n1 2 3 4 r\n");
+  EXPECT_THROW(Trace::load(truncated), std::invalid_argument);
+  std::stringstream bad_kind("geored-trace-v1 1\n1 2 3 4 x\n");
+  EXPECT_THROW(Trace::load(bad_kind), std::invalid_argument);
+}
+
+TEST(Trace, StatsSummarizeTheTrace) {
+  Trace trace;
+  trace.append({0.0, 0, 10, 1, false});
+  trace.append({1.0, 0, 11, 1, true});
+  trace.append({2.0, 1, 10, 1, false});
+  trace.append({3.0, 2, 10, 1, false});
+  const auto stats = trace.stats();
+  EXPECT_EQ(stats.events, 4u);
+  EXPECT_EQ(stats.distinct_clients, 3u);
+  EXPECT_EQ(stats.distinct_objects, 2u);
+  EXPECT_DOUBLE_EQ(stats.write_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(stats.duration_ms, 3.0);
+}
+
+TEST(Trace, ScaledCompressesAndStretchesTime) {
+  Trace trace;
+  trace.append({10.0, 0, 1, 1, false});
+  trace.append({20.0, 1, 2, 1, true});
+  const Trace fast = trace.scaled(0.5);
+  EXPECT_DOUBLE_EQ(fast.events()[0].time_ms, 5.0);
+  EXPECT_DOUBLE_EQ(fast.events()[1].time_ms, 10.0);
+  EXPECT_EQ(fast.events()[1].client, 1u);  // everything else untouched
+  const Trace slow = trace.scaled(3.0);
+  EXPECT_DOUBLE_EQ(slow.duration_ms(), 60.0);
+  EXPECT_THROW(trace.scaled(0.0), std::invalid_argument);
+  EXPECT_THROW(trace.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(Trace, MergedInterleavesByTime) {
+  Trace a, b;
+  a.append({1.0, 0, 1, 1, false});
+  a.append({5.0, 0, 2, 1, false});
+  b.append({3.0, 1, 3, 1, true});
+  b.append({7.0, 1, 4, 1, false});
+  const Trace merged = Trace::merged(a, b);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_DOUBLE_EQ(merged.events()[0].time_ms, 1.0);
+  EXPECT_DOUBLE_EQ(merged.events()[1].time_ms, 3.0);
+  EXPECT_DOUBLE_EQ(merged.events()[2].time_ms, 5.0);
+  EXPECT_DOUBLE_EQ(merged.events()[3].time_ms, 7.0);
+  EXPECT_EQ(merged.events()[1].client, 1u);
+  // Merging with an empty trace is the identity.
+  EXPECT_EQ(Trace::merged(a, Trace{}).events(), a.events());
+}
+
+TEST(SessionTrace, DeterministicInSeed) {
+  SessionTraceConfig config;
+  config.clients = 20;
+  config.duration_ms = 60'000.0;
+  const Trace a = generate_session_trace(config, 5);
+  const Trace b = generate_session_trace(config, 5);
+  EXPECT_EQ(a.events(), b.events());
+  const Trace c = generate_session_trace(config, 6);
+  EXPECT_NE(a.events(), c.events());
+}
+
+TEST(SessionTrace, RespectsConfiguredShape) {
+  SessionTraceConfig config;
+  config.clients = 50;
+  config.objects = 200;
+  config.duration_ms = 300'000.0;
+  config.write_fraction = 0.1;
+  config.min_bytes = 100;
+  config.max_bytes = 200;
+  const Trace trace = generate_session_trace(config, 42);
+  ASSERT_GT(trace.size(), 100u);
+  const auto stats = trace.stats();
+  EXPECT_LE(stats.distinct_clients, 50u);
+  EXPECT_LE(stats.distinct_objects, 200u);
+  EXPECT_NEAR(stats.write_fraction, 0.1, 0.04);
+  for (const auto& event : trace.events()) {
+    EXPECT_LT(event.time_ms, config.duration_ms);
+    EXPECT_GE(event.bytes, 100u);
+    EXPECT_LE(event.bytes, 200u);
+    EXPECT_LT(event.client, 50u);
+    EXPECT_LT(event.object, 200u);
+  }
+}
+
+TEST(SessionTrace, EventCountTracksSessionRate) {
+  SessionTraceConfig config;
+  config.clients = 100;
+  config.duration_ms = 600'000.0;
+  config.session_rate = 1.0 / 100'000.0;  // ~6 sessions per client
+  config.mean_requests_per_session = 5.0;
+  config.mean_think_time_ms = 100.0;  // short enough that sessions complete
+  const Trace trace = generate_session_trace(config, 7);
+  // Expect ~ clients * duration * rate * requests = 100 * 6 * 5 = 3000.
+  EXPECT_NEAR(static_cast<double>(trace.size()), 3000.0, 500.0);
+}
+
+TEST(SessionTrace, PopularityIsZipfSkewed) {
+  SessionTraceConfig config;
+  config.clients = 100;
+  config.objects = 500;
+  config.duration_ms = 600'000.0;
+  config.zipf_exponent = 1.0;
+  const Trace trace = generate_session_trace(config, 11);
+  std::map<std::uint64_t, std::size_t> counts;
+  for (const auto& event : trace.events()) ++counts[event.object];
+  std::vector<std::size_t> sorted;
+  for (const auto& [object, count] : counts) sorted.push_back(count);
+  std::sort(sorted.rbegin(), sorted.rend());
+  // The head object holds far more than its uniform share.
+  EXPECT_GT(sorted.front(),
+            5 * trace.size() / config.objects);
+}
+
+TEST(SessionTrace, RejectsInvalidConfig) {
+  SessionTraceConfig config;
+  config.clients = 0;
+  EXPECT_THROW(generate_session_trace(config, 1), std::invalid_argument);
+  config = {};
+  config.write_fraction = 1.5;
+  EXPECT_THROW(generate_session_trace(config, 1), std::invalid_argument);
+  config = {};
+  config.min_bytes = 100;
+  config.max_bytes = 50;
+  EXPECT_THROW(generate_session_trace(config, 1), std::invalid_argument);
+  config = {};
+  config.mean_requests_per_session = 0.5;
+  EXPECT_THROW(generate_session_trace(config, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geored::wl

@@ -1,0 +1,429 @@
+// geored — command-line toolkit for the library.
+//
+//   geored topogen     generate a PlanetLab-like topology file
+//   geored analyze     metric properties of a topology (file or synthetic)
+//   geored embed       run a coordinate system and report accuracy
+//   geored experiment  the paper's multi-strategy placement experiment
+//   geored tracegen    synthesize a session-model access trace file
+//   geored replay      replay a trace through the replicated KV store
+//   geored stability   coordinate drift per round, Vivaldi vs RNP
+//   geored verify      quick self-check of the paper's core results
+//
+// Every subcommand accepts --help. All randomness is seeded; identical
+// invocations produce identical output.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/flags.h"
+#include "common/significance.h"
+#include "core/evaluation.h"
+#include "netcoord/stability.h"
+#include "store/replay.h"
+#include "topology/analysis.h"
+#include "topology/planetlab_model.h"
+
+using namespace geored;
+
+namespace {
+
+void add_topology_flags(FlagParser& parser) {
+  parser.add_int("nodes", 226, "number of nodes in the synthetic topology");
+  parser.add_int("topology-seed", 42, "seed of the synthetic topology");
+  parser.add_string("in", "", "read a topology file instead of synthesizing one");
+}
+
+topo::Topology topology_from_flags(const FlagParser& parser) {
+  if (!parser.get_string("in").empty()) {
+    std::ifstream file(parser.get_string("in"));
+    if (!file) throw std::invalid_argument("cannot open " + parser.get_string("in"));
+    return topo::Topology::load(file);
+  }
+  topo::PlanetLabModelConfig config;
+  config.node_count = static_cast<std::size_t>(parser.get_int("nodes"));
+  return topo::generate_planetlab_like(config,
+                                       static_cast<std::uint64_t>(parser.get_int("topology-seed")));
+}
+
+core::CoordSystem coord_system_from_name(const std::string& name) {
+  if (name == "rnp") return core::CoordSystem::kRnp;
+  if (name == "vivaldi") return core::CoordSystem::kVivaldi;
+  if (name == "gnp") return core::CoordSystem::kGnp;
+  throw std::invalid_argument("unknown coordinate system: " + name +
+                              " (expected rnp|vivaldi|gnp)");
+}
+
+place::StrategyKind strategy_from_name(const std::string& name) {
+  if (name == "random") return place::StrategyKind::kRandom;
+  if (name == "offline") return place::StrategyKind::kOfflineKMeans;
+  if (name == "online") return place::StrategyKind::kOnlineClustering;
+  if (name == "optimal") return place::StrategyKind::kOptimal;
+  if (name == "greedy") return place::StrategyKind::kGreedy;
+  if (name == "hotzone") return place::StrategyKind::kHotZone;
+  if (name == "local-search") return place::StrategyKind::kLocalSearch;
+  throw std::invalid_argument("unknown strategy: " + name);
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::stringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+int handled_help(const FlagParser& parser) {
+  std::fputs(parser.help().c_str(), stdout);
+  return 0;
+}
+
+int cmd_topogen(const std::vector<std::string>& args) {
+  FlagParser parser("geored topogen", "generate a synthetic PlanetLab-like topology file");
+  parser.add_int("nodes", 226, "number of nodes");
+  parser.add_int("topology-seed", 42, "generation seed");
+  parser.add_string("out", "", "output file (default: stdout)");
+  parser.parse(args);
+  if (parser.help_requested()) return handled_help(parser);
+
+  topo::PlanetLabModelConfig config;
+  config.node_count = static_cast<std::size_t>(parser.get_int("nodes"));
+  const auto topology = topo::generate_planetlab_like(
+      config, static_cast<std::uint64_t>(parser.get_int("topology-seed")));
+  if (parser.get_string("out").empty()) {
+    topology.save(std::cout);
+  } else {
+    std::ofstream file(parser.get_string("out"));
+    if (!file) throw std::invalid_argument("cannot write " + parser.get_string("out"));
+    topology.save(file);
+    std::printf("wrote %zu-node topology to %s\n", topology.size(),
+                parser.get_string("out").c_str());
+  }
+  return 0;
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  FlagParser parser("geored analyze", "metric properties of a latency matrix");
+  add_topology_flags(parser);
+  parser.parse(args);
+  if (parser.help_requested()) return handled_help(parser);
+
+  const auto topology = topology_from_flags(parser);
+  std::printf("%zu nodes\n%s\n", topology.size(),
+              topo::analyze(topology).to_string().c_str());
+  return 0;
+}
+
+int cmd_embed(const std::vector<std::string>& args) {
+  FlagParser parser("geored embed", "embed a topology and report prediction accuracy");
+  add_topology_flags(parser);
+  parser.add_string("system", "rnp", "coordinate system: rnp|vivaldi|gnp");
+  parser.add_int("rounds", 256, "gossip rounds (rnp/vivaldi)");
+  parser.add_int("seed", 7, "embedding seed");
+  parser.parse(args);
+  if (parser.help_requested()) return handled_help(parser);
+
+  const auto topology = topology_from_flags(parser);
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  coord::GossipConfig gossip;
+  gossip.rounds = static_cast<std::size_t>(parser.get_int("rounds"));
+  std::vector<coord::NetworkCoordinate> coords;
+  switch (coord_system_from_name(parser.get_string("system"))) {
+    case core::CoordSystem::kRnp:
+      coords = coord::run_rnp(topology, coord::RnpConfig{}, gossip, seed);
+      break;
+    case core::CoordSystem::kVivaldi:
+      coords = coord::run_vivaldi(topology, coord::VivaldiConfig{}, gossip, seed);
+      break;
+    case core::CoordSystem::kGnp:
+      coords = coord::run_gnp(topology, coord::GnpConfig{});
+      break;
+  }
+  std::printf("%s over %zu nodes:\n%s\n", parser.get_string("system").c_str(),
+              topology.size(), coord::evaluate_embedding(topology, coords).to_string().c_str());
+  return 0;
+}
+
+int cmd_experiment(const std::vector<std::string>& args) {
+  FlagParser parser("geored experiment",
+                    "multi-strategy placement experiment (the paper's protocol)");
+  parser.add_int("nodes", 226, "topology nodes");
+  parser.add_int("topology-seed", 42, "topology seed");
+  parser.add_string("system", "rnp", "coordinate system: rnp|vivaldi|gnp");
+  parser.add_int("dcs", 20, "candidate data centers");
+  parser.add_int("k", 3, "degree of replication");
+  parser.add_int("m", 4, "micro-clusters per replica");
+  parser.add_int("runs", 30, "independent runs");
+  parser.add_int("quorum", 1, "replicas a client must reach");
+  parser.add_string("strategies", "random,offline,online,optimal",
+                    "comma-separated: random|offline|online|optimal|greedy|hotzone|local-search");
+  parser.parse(args);
+  if (parser.help_requested()) return handled_help(parser);
+
+  topo::PlanetLabModelConfig topo_config;
+  topo_config.node_count = static_cast<std::size_t>(parser.get_int("nodes"));
+  const core::Environment env(topo_config,
+                              static_cast<std::uint64_t>(parser.get_int("topology-seed")),
+                              coord_system_from_name(parser.get_string("system")),
+                              coord::GossipConfig{});
+
+  core::ExperimentConfig config;
+  config.num_datacenters = static_cast<std::size_t>(parser.get_int("dcs"));
+  config.k = static_cast<std::size_t>(parser.get_int("k"));
+  config.micro_clusters = static_cast<std::size_t>(parser.get_int("m"));
+  config.runs = static_cast<std::size_t>(parser.get_int("runs"));
+  config.quorum = static_cast<std::size_t>(parser.get_int("quorum"));
+  config.strategies.clear();
+  for (const auto& name : split_csv(parser.get_string("strategies"))) {
+    config.strategies.push_back(strategy_from_name(name));
+  }
+
+  const auto result = run_experiment(env, config);
+  std::printf("%-18s %14s %12s %16s\n", "strategy", "avg delay", "95% CI", "vs first");
+  const auto& reference = result.outcomes.front();
+  for (const auto& outcome : result.outcomes) {
+    std::string significance = "-";
+    if (&outcome != &reference) {
+      const auto test =
+          paired_t_test(outcome.per_run_delay_ms, reference.per_run_delay_ms);
+      std::ostringstream os;
+      os.precision(3);
+      os << (test.mean_difference > 0 ? "+" : "") << test.mean_difference << "ms p="
+         << test.p_value;
+      significance = os.str();
+    }
+    std::printf("%-18s %12.2fms %10.2fms %12s\n", outcome.name.c_str(),
+                outcome.average_delay_ms.mean, outcome.average_delay_ms.ci95_halfwidth,
+                significance.c_str());
+  }
+  return 0;
+}
+
+int cmd_tracegen(const std::vector<std::string>& args) {
+  FlagParser parser("geored tracegen", "synthesize a session-model access trace");
+  parser.add_int("clients", 100, "number of clients");
+  parser.add_int("objects", 1000, "object catalogue size");
+  parser.add_double("duration-s", 600.0, "trace duration, seconds");
+  parser.add_double("zipf", 0.9, "object popularity exponent");
+  parser.add_double("write-fraction", 0.05, "probability a request writes");
+  parser.add_int("seed", 1, "generation seed");
+  parser.add_string("out", "", "output file (default: stdout)");
+  parser.parse(args);
+  if (parser.help_requested()) return handled_help(parser);
+
+  wl::SessionTraceConfig config;
+  config.clients = static_cast<std::size_t>(parser.get_int("clients"));
+  config.objects = static_cast<std::size_t>(parser.get_int("objects"));
+  config.duration_ms = parser.get_double("duration-s") * 1000.0;
+  config.zipf_exponent = parser.get_double("zipf");
+  config.write_fraction = parser.get_double("write-fraction");
+  const auto trace =
+      wl::generate_session_trace(config, static_cast<std::uint64_t>(parser.get_int("seed")));
+  if (parser.get_string("out").empty()) {
+    trace.save(std::cout);
+  } else {
+    std::ofstream file(parser.get_string("out"));
+    if (!file) throw std::invalid_argument("cannot write " + parser.get_string("out"));
+    trace.save(file);
+    const auto stats = trace.stats();
+    std::printf("wrote %zu events (%zu clients, %zu objects, %.1f%% writes) to %s\n",
+                stats.events, stats.distinct_clients, stats.distinct_objects,
+                100.0 * stats.write_fraction, parser.get_string("out").c_str());
+  }
+  return 0;
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+  FlagParser parser("geored replay", "replay an access trace through the KV store");
+  add_topology_flags(parser);
+  parser.add_string("trace", "", "trace file (default: synthesize a 10-minute trace)");
+  parser.add_int("dcs", 15, "candidate data centers (first nodes of the topology)");
+  parser.add_int("groups", 16, "object groups");
+  parser.add_int("n", 3, "replicas per group");
+  parser.add_int("r", 1, "read quorum");
+  parser.add_int("w", 2, "write quorum");
+  parser.add_double("epoch-s", 60.0, "placement epoch period, seconds (0 = static)");
+  parser.add_int("seed", 1, "store / embedding seed");
+  parser.parse(args);
+  if (parser.help_requested()) return handled_help(parser);
+
+  const auto topology = topology_from_flags(parser);
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  const auto coords = coord::run_rnp(topology, coord::RnpConfig{}, coord::GossipConfig{}, seed);
+
+  const auto dcs = static_cast<std::size_t>(parser.get_int("dcs"));
+  if (dcs >= topology.size()) throw std::invalid_argument("--dcs must leave client nodes");
+  std::vector<place::CandidateInfo> candidates;
+  for (std::size_t i = 0; i < dcs; ++i) {
+    candidates.push_back({static_cast<topo::NodeId>(i), coords[i].position,
+                          std::numeric_limits<double>::infinity()});
+  }
+  std::vector<topo::NodeId> clients;
+  std::vector<Point> client_coords;
+  for (std::size_t i = dcs; i < topology.size(); ++i) {
+    clients.push_back(static_cast<topo::NodeId>(i));
+    client_coords.push_back(coords[i].position);
+  }
+
+  wl::Trace trace;
+  if (parser.get_string("trace").empty()) {
+    wl::SessionTraceConfig trace_config;
+    trace_config.clients = clients.size();
+    const auto generated = wl::generate_session_trace(trace_config, seed);
+    trace = generated;
+  } else {
+    std::ifstream file(parser.get_string("trace"));
+    if (!file) throw std::invalid_argument("cannot open " + parser.get_string("trace"));
+    trace = wl::Trace::load(file);
+  }
+
+  sim::Simulator simulator;
+  sim::Network network(simulator, topology);
+  store::StoreConfig store_config;
+  store_config.quorum = {static_cast<std::size_t>(parser.get_int("n")),
+                         static_cast<std::size_t>(parser.get_int("r")),
+                         static_cast<std::size_t>(parser.get_int("w"))};
+  store_config.groups = static_cast<std::size_t>(parser.get_int("groups"));
+  store::ReplicatedKvStore store(simulator, network, candidates, store_config, seed);
+
+  store::ReplayConfig replay_config;
+  replay_config.placement_epoch_ms = parser.get_double("epoch-s") * 1000.0;
+  const auto report =
+      store::replay_trace(simulator, store, trace, clients, client_coords, replay_config);
+
+  std::printf("replayed %zu events over %.1f s\n", trace.size(),
+              trace.duration_ms() / 1000.0);
+  std::printf("reads: %llu (mean %.1f ms, %llu stale, %llu not-found)\n",
+              static_cast<unsigned long long>(report.reads), report.get_mean_ms,
+              static_cast<unsigned long long>(report.stale_reads),
+              static_cast<unsigned long long>(report.not_found_reads));
+  std::printf("writes: %llu (mean %.1f ms)\n",
+              static_cast<unsigned long long>(report.writes), report.put_mean_ms);
+  std::printf("placement epochs: %zu, migrations: %zu\n", report.epochs, report.migrations);
+  if (!report.get_mean_by_epoch.empty()) {
+    std::printf("read latency by epoch:");
+    for (const double mean : report.get_mean_by_epoch) std::printf(" %.1f", mean);
+    std::printf(" ms\n");
+  }
+  std::printf("traffic: %s\n", network.stats().to_string().c_str());
+  return 0;
+}
+
+int cmd_stability(const std::vector<std::string>& args) {
+  FlagParser parser("geored stability",
+                    "coordinate drift per gossip round: Vivaldi vs RNP");
+  add_topology_flags(parser);
+  parser.add_int("rounds", 256, "total gossip rounds (half of them warmup)");
+  parser.add_int("seed", 7, "gossip seed");
+  parser.parse(args);
+  if (parser.help_requested()) return handled_help(parser);
+
+  const auto topology = topology_from_flags(parser);
+  coord::StabilityConfig config;
+  config.gossip.rounds = static_cast<std::size_t>(parser.get_int("rounds"));
+  config.warmup_rounds = config.gossip.rounds / 2;
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  std::printf("%-10s %14s %14s %16s\n", "protocol", "drift mean", "drift p90",
+              "final abs p50");
+  for (const auto protocol : {coord::Protocol::kVivaldi, coord::Protocol::kRnp}) {
+    const auto report = coord::measure_stability(topology, protocol, config, seed);
+    std::printf("%-10s %12.3fms %12.3fms %14.2fms\n",
+                protocol == coord::Protocol::kVivaldi ? "vivaldi" : "rnp",
+                report.displacement_per_round_ms.mean,
+                report.displacement_per_round_ms.p90, report.final_abs_error_p50_ms);
+  }
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  FlagParser parser("geored verify",
+                    "quick end-to-end self-check: runs a small placement experiment and "
+                    "asserts the paper's core results hold on this build");
+  parser.add_int("runs", 10, "runs per check (more = slower, tighter)");
+  parser.parse(args);
+  if (parser.help_requested()) return handled_help(parser);
+
+  topo::PlanetLabModelConfig topo_config;
+  topo_config.node_count = 140;
+  const core::Environment env(topo_config, 42, core::CoordSystem::kRnp,
+                              coord::GossipConfig{});
+  core::ExperimentConfig config;
+  config.num_datacenters = 15;
+  config.runs = static_cast<std::size_t>(parser.get_int("runs"));
+  const auto result = run_experiment(env, config);
+
+  const double random = result.mean_of(place::StrategyKind::kRandom);
+  const double offline = result.mean_of(place::StrategyKind::kOfflineKMeans);
+  const double online = result.mean_of(place::StrategyKind::kOnlineClustering);
+  const double optimal = result.mean_of(place::StrategyKind::kOptimal);
+  const auto quality = env.embedding_quality();
+
+  struct Check {
+    const char* what;
+    bool ok;
+  };
+  const std::vector<Check> checks{
+      {"RNP median prediction error under 15 ms", quality.absolute_error_ms.p50 < 15.0},
+      {"optimal <= online clustering", optimal <= online + 1e-9},
+      {"optimal <= offline k-means", optimal <= offline + 1e-9},
+      {"online clustering beats random by >= 25%", online < 0.75 * random},
+      {"online clustering within 35% of optimal", online < 1.35 * optimal},
+  };
+  bool all_ok = true;
+  for (const auto& check : checks) {
+    std::printf("[%s] %s\n", check.ok ? "PASS" : "FAIL", check.what);
+    all_ok &= check.ok;
+  }
+  std::printf("%s (random %.1f / offline %.1f / online %.1f / optimal %.1f ms)\n",
+              all_ok ? "verify OK" : "verify FAILED", random, offline, online, optimal);
+  return all_ok ? 0 : 1;
+}
+
+void print_usage() {
+  std::puts(
+      "geored — geo-replication toolkit\n"
+      "usage: geored <command> [flags]  (each command accepts --help)\n\n"
+      "commands:\n"
+      "  topogen     generate a synthetic PlanetLab-like topology file\n"
+      "  analyze     metric properties of a latency matrix\n"
+      "  embed       coordinate-system prediction accuracy\n"
+      "  experiment  the paper's multi-strategy placement experiment\n"
+      "  tracegen    synthesize a session-model access trace\n"
+      "  replay      replay a trace through the replicated KV store\n"
+      "  stability   coordinate drift per round: Vivaldi vs RNP\n"
+      "  verify      quick self-check of the paper's core results");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 0;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "topogen") return cmd_topogen(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "embed") return cmd_embed(args);
+    if (command == "experiment") return cmd_experiment(args);
+    if (command == "tracegen") return cmd_tracegen(args);
+    if (command == "replay") return cmd_replay(args);
+    if (command == "verify") return cmd_verify(args);
+    if (command == "stability") return cmd_stability(args);
+    if (command == "--help" || command == "help") {
+      print_usage();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+    print_usage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
