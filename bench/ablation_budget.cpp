@@ -61,7 +61,7 @@ int main() {
                           std::numeric_limits<double>::infinity()});
   }
   std::vector<std::vector<place::ClientRecord>> populations(3);
-  for (std::size_t i = 0; i < topology.size(); ++i) {
+  for (topo::NodeId i = 0; i < topology.size(); ++i) {
     if (is_candidate[i]) continue;
     const auto& name = topology.region_names()[topology.node(i).region];
     std::size_t bucket = 2;

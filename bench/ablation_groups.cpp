@@ -34,12 +34,12 @@ int main() {
   }
   // Clients bucketed by macro-region: Americas / Europe / Asia-Pacific.
   std::vector<std::vector<topo::NodeId>> regions(3);
-  for (std::size_t i = 15; i < topology.size(); ++i) {
+  for (topo::NodeId i = 15; i < topology.size(); ++i) {
     const auto& name = topology.region_names()[topology.node(i).region];
     std::size_t bucket = 2;
     if (name.starts_with("na-") || name == "south-america") bucket = 0;
     if (name.starts_with("eu-")) bucket = 1;
-    regions[bucket].push_back(static_cast<topo::NodeId>(i));
+    regions[bucket].push_back(i);
   }
   std::printf("clients per macro-region: %zu / %zu / %zu\n\n", regions[0].size(),
               regions[1].size(), regions[2].size());

@@ -70,7 +70,7 @@ int main() {
   const auto& coords = env.coordinates();
   // Region mask: only North-American nodes act as clients.
   std::vector<bool> is_na_node(topology.size(), false);
-  for (std::size_t i = 0; i < topology.size(); ++i) {
+  for (topo::NodeId i = 0; i < topology.size(); ++i) {
     is_na_node[i] = topology.region_names()[topology.node(i).region].starts_with("na-");
   }
 

@@ -38,10 +38,10 @@ Outcome run_world(const topo::Topology& topology,
   }
   std::vector<topo::NodeId> clients;
   std::vector<Point> client_coords;
-  for (std::size_t i = kDcs; i < topology.size(); ++i) {
+  for (topo::NodeId i = kDcs; i < topology.size(); ++i) {
     const auto& region = topology.region_names()[topology.node(i).region];
     if (!region.starts_with("na-")) continue;  // NA-only client population
-    clients.push_back(static_cast<topo::NodeId>(i));
+    clients.push_back(i);
     client_coords.push_back(coords[i].position);
   }
 
@@ -126,7 +126,7 @@ int main() {
   cluster::SummarizerConfig summarizer_config;
   summarizer_config.max_clusters = 12;
   cluster::MicroClusterSummarizer summarizer(summarizer_config);
-  for (std::size_t i = 14; i < topology.size(); ++i) {
+  for (topo::NodeId i = 14; i < topology.size(); ++i) {
     const auto& region = topology.region_names()[topology.node(i).region];
     if (region.starts_with("na-")) summarizer.add(coords[i].position, 1.0);
   }

@@ -32,8 +32,8 @@ int main() {
   std::vector<topo::NodeId> clients;
   std::vector<Point> client_coords;
   std::vector<bool> in_hot_region;
-  for (std::size_t i = kDcs; i < topology.size(); ++i) {
-    clients.push_back(static_cast<topo::NodeId>(i));
+  for (topo::NodeId i = kDcs; i < topology.size(); ++i) {
+    clients.push_back(i);
     client_coords.push_back(coords[i].position);
     // The spike hits European clients (regions named eu-*).
     const auto region = topology.node(i).region;

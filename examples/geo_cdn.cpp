@@ -36,8 +36,8 @@ int main() {
   std::vector<topo::NodeId> clients;
   std::vector<Point> client_coords;
   std::vector<double> phases;
-  for (std::size_t i = kDcs; i < topology.size(); ++i) {
-    clients.push_back(static_cast<topo::NodeId>(i));
+  for (topo::NodeId i = kDcs; i < topology.size(); ++i) {
+    clients.push_back(i);
     client_coords.push_back(coords[i].position);
     phases.push_back((topology.node(i).location.lon_deg + 180.0) / 360.0);
   }

@@ -32,10 +32,9 @@ int main() {
   }
   // Split clients into "west" (the Americas) and "east" (everything else).
   std::vector<topo::NodeId> west, east;
-  for (std::size_t i = kDcs; i < topology.size(); ++i) {
+  for (topo::NodeId i = kDcs; i < topology.size(); ++i) {
     const auto& name = topology.region_names()[topology.node(i).region];
-    (name.starts_with("na-") || name == "south-america" ? west : east)
-        .push_back(static_cast<topo::NodeId>(i));
+    (name.starts_with("na-") || name == "south-america" ? west : east).push_back(i);
   }
   std::printf("%zu west clients, %zu east clients, %zu data centers\n", west.size(),
               east.size(), kDcs);

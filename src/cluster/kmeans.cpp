@@ -1,6 +1,7 @@
 #include "cluster/kmeans.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/ensure.h"
@@ -8,6 +9,14 @@
 namespace geored::cluster {
 
 namespace {
+
+/// Debug check: every centroid is finite with the expected dimensionality.
+bool centroids_finite(const std::vector<Point>& centroids, std::size_t dim) {
+  for (const auto& c : centroids) {
+    if (c.dim() != dim || !c.is_finite()) return false;
+  }
+  return true;
+}
 
 std::size_t nearest_centroid(const Point& p, const std::vector<Point>& centroids) {
   std::size_t best = 0;
@@ -54,6 +63,8 @@ std::vector<Point> kmeanspp_seed(const std::vector<WeightedPoint>& points, std::
 KMeansResult lloyd(const std::vector<WeightedPoint>& points, std::vector<Point> centroids,
                    const KMeansConfig& config) {
   const std::size_t dim = points.front().position.dim();
+  double total_weight = 0.0;
+  for (const auto& wp : points) total_weight += wp.weight;
   std::vector<std::size_t> assignment(points.size(), 0);
   double prev_objective = std::numeric_limits<double>::infinity();
   std::size_t iterations = 0;
@@ -72,6 +83,19 @@ KMeansResult lloyd(const std::vector<WeightedPoint>& points, std::vector<Point> 
       // Empty clusters keep their previous centroid; with good seeding this
       // is rare and self-corrects on the next assignment.
     }
+    // Weight conservation: per-cluster accumulation must redistribute the
+    // input mass exactly (up to summation order), and the centroid update
+    // must never produce a non-finite coordinate.
+    GEORED_DCHECK(
+        [&] {
+          double redistributed = 0.0;
+          for (const double w : cluster_weight) redistributed += w;
+          return std::abs(redistributed - total_weight) <=
+                 1e-9 * std::max(1.0, total_weight);
+        }(),
+        "k-means iteration lost or invented point weight");
+    GEORED_DCHECK(centroids_finite(centroids, dim),
+                  "k-means produced a non-finite centroid");
     const double objective = kmeans_objective(points, centroids);
     if (prev_objective - objective <= config.tolerance * std::max(1.0, prev_objective)) {
       prev_objective = objective;

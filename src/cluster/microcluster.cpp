@@ -6,6 +6,28 @@
 
 namespace geored::cluster {
 
+namespace {
+
+/// Sufficient-statistics sanity for debug builds: the stored moments must
+/// describe a realizable point multiset. Weight and both moment vectors must
+/// be finite, weight non-negative, and per dimension Cauchy-Schwarz demands
+/// n * sum2[d] >= sum[d]^2 (up to floating-point slack).
+bool moments_consistent(std::uint64_t count, double weight, const Point& sum,
+                        const Point& sum2) {
+  if (!std::isfinite(weight) || weight < 0.0) return false;
+  if (sum.dim() != sum2.dim()) return false;
+  if (!sum.is_finite() || !sum2.is_finite()) return false;
+  const auto n = static_cast<double>(count);
+  for (std::size_t d = 0; d < sum.dim(); ++d) {
+    const double lhs = n * sum2[d];
+    const double rhs = sum[d] * sum[d];
+    if (lhs < rhs - 1e-6 * std::max(1.0, rhs)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 MicroCluster::MicroCluster(const Point& coords, double weight)
     : count_(1), weight_(weight), sum_(coords), sum2_(coords.component_squares()) {
   GEORED_ENSURE(weight >= 0.0, "access weight must be non-negative");
@@ -22,6 +44,8 @@ void MicroCluster::absorb(const Point& coords, double weight) {
   weight_ += weight;
   sum_ += coords;
   sum2_ += coords.component_squares();
+  GEORED_DCHECK(moments_consistent(count_, weight_, sum_, sum2_),
+                "micro-cluster moments inconsistent after absorb");
 }
 
 void MicroCluster::merge(const MicroCluster& other) {
@@ -35,6 +59,8 @@ void MicroCluster::merge(const MicroCluster& other) {
   weight_ += other.weight_;
   sum_ += other.sum_;
   sum2_ += other.sum2_;
+  GEORED_DCHECK(moments_consistent(count_, weight_, sum_, sum2_),
+                "micro-cluster moments inconsistent after merge");
 }
 
 void MicroCluster::scale(double factor) {
@@ -53,6 +79,8 @@ void MicroCluster::scale(double factor) {
   weight_ *= realized;
   sum_ *= realized;
   sum2_ *= realized;
+  GEORED_DCHECK(moments_consistent(count_, weight_, sum_, sum2_),
+                "micro-cluster moments inconsistent after scale");
 }
 
 Point MicroCluster::centroid() const {
@@ -92,7 +120,7 @@ MicroCluster MicroCluster::deserialize(ByteReader& reader) {
   return cluster;
 }
 
-std::size_t MicroCluster::serialized_size(std::size_t dim) {
+std::size_t MicroCluster::serialized_size(std::size_t dim) {  // lint: no-ensure (total)
   return sizeof(std::uint64_t) + sizeof(double)            // count, weight
          + 2 * (sizeof(std::uint32_t) + dim * sizeof(double));  // sum, sum2
 }

@@ -40,6 +40,8 @@ void MicroClusterSummarizer::add(const Point& coords, double weight) {
   if (clusters_.size() > config_.max_clusters) {
     merge_closest_pair();
   }
+  GEORED_DCHECK(clusters_.size() <= config_.max_clusters,
+                "summarizer exceeded its micro-cluster budget after add");
 }
 
 void MicroClusterSummarizer::merge_cluster(const MicroCluster& cluster) {
@@ -49,6 +51,8 @@ void MicroClusterSummarizer::merge_cluster(const MicroCluster& cluster) {
   if (clusters_.size() > config_.max_clusters) {
     merge_closest_pair();
   }
+  GEORED_DCHECK(clusters_.size() <= config_.max_clusters,
+                "summarizer exceeded its micro-cluster budget after merge_cluster");
 }
 
 std::size_t MicroClusterSummarizer::nearest_cluster(const Point& coords) const {

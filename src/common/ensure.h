@@ -3,7 +3,12 @@
 // GEORED_ENSURE is used to validate arguments on public API boundaries; it
 // throws std::invalid_argument so callers can recover. GEORED_CHECK is used
 // for internal invariants; it throws geored::InternalError, signalling a bug
-// in this library rather than misuse by the caller.
+// in this library rather than misuse by the caller. GEORED_DCHECK is a
+// debug-only variant of GEORED_CHECK for checks too expensive (or too hot)
+// to keep in release builds: it compiles to nothing unless the build defines
+// GEORED_DEBUG_CHECKS (the asan-ubsan and tsan presets turn it on).
+//
+// See docs/correctness.md for the policy on choosing between the three.
 #pragma once
 
 #include <source_location>
@@ -55,3 +60,28 @@ namespace detail {
                                             std::source_location::current());          \
     }                                                                                  \
   } while (false)
+
+/// Debug-only internal invariant check. Zero cost in release builds: unless
+/// GEORED_DEBUG_CHECKS is defined the condition is never evaluated (it is
+/// only type-checked inside a discarded `if constexpr`-style sizeof context,
+/// so the expression must still compile). Throws geored::InternalError when
+/// enabled and the condition is false.
+#if defined(GEORED_DEBUG_CHECKS) && GEORED_DEBUG_CHECKS
+#define GEORED_DCHECK(expr, msg) GEORED_CHECK(expr, msg)
+#else
+#define GEORED_DCHECK(expr, msg)                                                       \
+  do {                                                                                 \
+    if (false) {                                                                       \
+      static_cast<void>(static_cast<bool>(expr));                                      \
+      static_cast<void>(msg);                                                          \
+    }                                                                                  \
+  } while (false)
+#endif
+
+/// True when GEORED_DCHECK is active in this build; usable for guarding
+/// debug-only bookkeeping that the checks themselves need.
+#if defined(GEORED_DEBUG_CHECKS) && GEORED_DEBUG_CHECKS
+inline constexpr bool geored_debug_checks_enabled = true;
+#else
+inline constexpr bool geored_debug_checks_enabled = false;
+#endif

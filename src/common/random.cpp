@@ -136,7 +136,7 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
   return weights.size() - 1;  // numeric edge: target landed exactly on total
 }
 
-std::vector<std::size_t> Rng::permutation(std::size_t n) {
+std::vector<std::size_t> Rng::permutation(std::size_t n) {  // lint: no-ensure (total)
   std::vector<std::size_t> result(n);
   std::iota(result.begin(), result.end(), std::size_t{0});
   for (std::size_t i = n; i > 1; --i) {

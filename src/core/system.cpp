@@ -154,12 +154,13 @@ void ReplicationSystem::run_epoch_at_coordinator() {
       double source_rtt = std::numeric_limits<double>::infinity();
       bool source_live = false;
       for (const auto old_node : active_placement_) {
-        const bool live = is_up(old_node);
+        const bool old_live = is_up(old_node);
         const double rtt = network_.rtt_ms(old_node, node);
-        if ((live && !source_live) || (live == source_live && rtt < source_rtt)) {
+        if ((old_live && !source_live) ||
+            (old_live == source_live && rtt < source_rtt)) {
           source = old_node;
           source_rtt = rtt;
-          source_live = live;
+          source_live = old_live;
         }
       }
       ++*transfers;

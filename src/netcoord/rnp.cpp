@@ -119,6 +119,12 @@ void RnpNode::refit() {
   // The refit objective is the weighted mean squared relative error; its
   // square root is the natural successor of Vivaldi's error estimate.
   coord_.error = std::min(config_.max_error, std::sqrt(best_obj));
+  GEORED_DCHECK(coord_.position.is_finite(),
+                "RNP refit produced a non-finite coordinate");
+  GEORED_DCHECK(std::isfinite(coord_.height) && coord_.height >= 0.0,
+                "RNP refit produced an invalid height");
+  GEORED_DCHECK(std::isfinite(coord_.error) && coord_.error >= 0.0,
+                "RNP refit produced an invalid error estimate");
 }
 
 }  // namespace geored::coord

@@ -62,6 +62,14 @@ void VivaldiNode::vivaldi_step(const NetworkCoordinate& remote, double rtt_ms) {
   } else {
     coord_.position += unit * force;
   }
+  // A single bad sample (or a degenerate unit vector) must never corrupt the
+  // coordinate: every component, the height, and the error stay finite.
+  GEORED_DCHECK(coord_.position.is_finite(),
+                "Vivaldi update produced a non-finite coordinate");
+  GEORED_DCHECK(std::isfinite(coord_.height) && coord_.height >= 0.0,
+                "Vivaldi update produced an invalid height");
+  GEORED_DCHECK(std::isfinite(coord_.error) && coord_.error >= 0.0,
+                "Vivaldi update produced an invalid error estimate");
 }
 
 }  // namespace geored::coord

@@ -97,6 +97,15 @@ Placement assign_centroids_to_candidates(const std::vector<Point>& centroids,
     const auto fill = rng.sample_without_replacement(unused.size(), target - placement.size());
     for (const auto idx : fill) placement.push_back(candidates[unused[idx]].node);
   }
+  GEORED_DCHECK(placement.size() == target,
+                "centroid assignment did not produce min(k, #candidates) replicas");
+  GEORED_DCHECK(
+      [&] {
+        std::vector<topo::NodeId> sorted(placement.begin(), placement.end());
+        std::sort(sorted.begin(), sorted.end());
+        return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+      }(),
+      "centroid assignment produced duplicate replicas");
   return placement;
 }
 

@@ -31,6 +31,16 @@ double true_total_delay(const topo::Topology& topology, const Placement& placeme
       for (std::size_t r = 1; r < placement.size(); ++r) {
         best = std::min(best, topology.rtt_ms(client.client, placement[r]));
       }
+      // The read-one cost model charges each client its true nearest
+      // replica; anything else silently inflates the reported delay.
+      GEORED_DCHECK(
+          [&] {
+            for (const auto replica : placement) {
+              if (topology.rtt_ms(client.client, replica) < best) return false;
+            }
+            return true;
+          }(),
+          "client not charged its true nearest replica");
       total += best * static_cast<double>(client.access_count);
     } else {
       for (std::size_t r = 0; r < placement.size(); ++r) {
@@ -80,6 +90,8 @@ void validate_placement(const Placement& placement, const PlacementInput& input)
   const std::size_t expected = std::min(input.k, input.candidates.size());
   GEORED_ENSURE(placement.size() == expected,
                 "placement size must be min(k, #candidates)");
+  GEORED_DCHECK(input.k == 0 || !placement.empty(),
+                "non-trivial placement request produced an empty replica set");
   std::unordered_set<topo::NodeId> seen;
   for (const auto id : placement) {
     GEORED_ENSURE(seen.insert(id).second, "placement contains a duplicate data center");

@@ -65,7 +65,7 @@ const place::CandidateInfo& ReplicatedKvStore::candidate_info(topo::NodeId node)
   return *it;
 }
 
-std::vector<topo::NodeId> ReplicatedKvStore::closest_replicas(
+std::vector<topo::NodeId> ReplicatedKvStore::closest_replicas(  // lint: no-ensure (total)
     const place::Placement& placement, const Point& coords, std::size_t count) const {
   std::vector<std::pair<double, topo::NodeId>> ranked;
   ranked.reserve(placement.size());
@@ -81,7 +81,7 @@ std::vector<topo::NodeId> ReplicatedKvStore::closest_replicas(
   return result;
 }
 
-LamportClock& ReplicatedKvStore::clock_of(topo::NodeId client) {
+LamportClock& ReplicatedKvStore::clock_of(topo::NodeId client) {  // lint: no-ensure (total)
   const auto it = clocks_.find(client);
   if (it != clocks_.end()) return it->second;
   return clocks_.emplace(client, LamportClock(client)).first->second;

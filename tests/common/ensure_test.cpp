@@ -1,0 +1,113 @@
+// Contract tests for the checking macros: exception types, message contents
+// (file:line prefix, expression text, caller message), and GEORED_DCHECK's
+// compile-time on/off behavior.
+#include "common/ensure.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace geored {
+namespace {
+
+TEST(Ensure, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(GEORED_ENSURE(1 + 1 == 2, "arithmetic works"));
+  EXPECT_NO_THROW(GEORED_CHECK(true, ""));
+}
+
+TEST(Ensure, ThrowsInvalidArgumentWithExpressionAndMessage) {
+  try {
+    GEORED_ENSURE(2 + 2 == 5, "ministry of truth");
+    FAIL() << "GEORED_ENSURE did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ensure_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("ministry of truth"), std::string::npos) << what;
+    // file:line: the filename is followed by a numeric line reference.
+    EXPECT_NE(what.find("ensure_test.cpp:"), std::string::npos) << what;
+  }
+}
+
+TEST(Ensure, EnsureIsNotAnInternalError) {
+  // Caller misuse must not be reported as a library bug.
+  EXPECT_THROW(GEORED_ENSURE(false, ""), std::invalid_argument);
+  try {
+    GEORED_ENSURE(false, "");
+    FAIL();
+  } catch (const InternalError&) {
+    FAIL() << "GEORED_ENSURE must not throw InternalError";
+  } catch (const std::invalid_argument&) {
+    SUCCEED();
+  }
+}
+
+TEST(Check, ThrowsInternalErrorWithExpressionAndMessage) {
+  try {
+    GEORED_CHECK(false, "impossible state");
+    FAIL() << "GEORED_CHECK did not throw";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ensure_test.cpp:"), std::string::npos) << what;
+    EXPECT_NE(what.find("false"), std::string::npos) << what;
+    EXPECT_NE(what.find("impossible state"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, InternalErrorIsALogicError) {
+  EXPECT_THROW(GEORED_CHECK(false, ""), std::logic_error);
+}
+
+TEST(Check, MessageReportsDeclarationLine) {
+  const std::source_location here = std::source_location::current();
+  try {
+    GEORED_CHECK(false, "");  // one line below `here`
+    FAIL();
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    const std::string expected_line = ":" + std::to_string(here.line() + 2) + ":";
+    EXPECT_NE(what.find(expected_line), std::string::npos)
+        << "expected " << expected_line << " in: " << what;
+  }
+}
+
+TEST(Dcheck, RespectsBuildConfiguration) {
+  if (geored_debug_checks_enabled) {
+    EXPECT_THROW(GEORED_DCHECK(false, "debug checks active"), InternalError);
+    EXPECT_NO_THROW(GEORED_DCHECK(true, "fine"));
+  } else {
+    EXPECT_NO_THROW(GEORED_DCHECK(false, "compiled out"));
+  }
+}
+
+TEST(Dcheck, ConditionNotEvaluatedWhenDisabled) {
+  int evaluations = 0;
+  const auto count_and_fail = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  if (geored_debug_checks_enabled) {
+    EXPECT_THROW(GEORED_DCHECK(count_and_fail(), "evaluated"), InternalError);
+    EXPECT_EQ(evaluations, 1);
+  } else {
+    EXPECT_NO_THROW(GEORED_DCHECK(count_and_fail(), "never evaluated"));
+    EXPECT_EQ(evaluations, 0);
+  }
+}
+
+TEST(Dcheck, MessageMatchesCheckFormatWhenEnabled) {
+  if (!geored_debug_checks_enabled) GTEST_SKIP() << "debug checks compiled out";
+  try {
+    GEORED_DCHECK(1 > 2, "numbers misbehave");
+    FAIL() << "GEORED_DCHECK did not throw in a debug-checks build";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ensure_test.cpp:"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 > 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("numbers misbehave"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace geored

@@ -22,7 +22,9 @@ struct AggWorld {
       : topology(topo::Topology(std::vector<topo::NodeInfo>(0), SymMatrix(0), {})) {
     SymMatrix rtt(dc_count);
     std::vector<Point> positions;
-    for (std::size_t i = 0; i < dc_count; ++i) positions.push_back(Point{100.0 * i});
+    for (std::size_t i = 0; i < dc_count; ++i) {
+      positions.push_back(Point{100.0 * static_cast<double>(i)});
+    }
     for (std::size_t i = 0; i < dc_count; ++i) {
       for (std::size_t j = i + 1; j < dc_count; ++j) {
         rtt.set(i, j, std::max(0.1, positions[i].distance_to(positions[j])));

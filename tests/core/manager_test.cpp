@@ -15,7 +15,8 @@ namespace {
 std::vector<place::CandidateInfo> line_candidates(std::size_t count = 10) {
   std::vector<place::CandidateInfo> candidates;
   for (std::size_t i = 0; i < count; ++i) {
-    candidates.push_back({static_cast<topo::NodeId>(i), Point{100.0 * i},
+    candidates.push_back({static_cast<topo::NodeId>(i),
+                          Point{100.0 * static_cast<double>(i)},
                           std::numeric_limits<double>::infinity()});
   }
   return candidates;

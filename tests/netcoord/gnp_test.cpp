@@ -26,8 +26,10 @@ TEST(Gnp, LandmarkSelectionIsDistinctAndSpread) {
   // Farthest-point selection should cover the space: the minimum pairwise
   // landmark distance must exceed the topology's 10th-percentile RTT.
   std::vector<double> all_rtts;
-  for (std::size_t i = 0; i < topology.size(); ++i) {
-    for (std::size_t j = i + 1; j < topology.size(); ++j) all_rtts.push_back(topology.rtt_ms(i, j));
+  for (topo::NodeId i = 0; i < topology.size(); ++i) {
+    for (topo::NodeId j = i + 1; j < topology.size(); ++j) {
+      all_rtts.push_back(topology.rtt_ms(i, j));
+    }
   }
   std::sort(all_rtts.begin(), all_rtts.end());
   const double p10 = all_rtts[all_rtts.size() / 10];

@@ -4,6 +4,7 @@
 // weights, tiny and large k, with and without summaries.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <limits>
 
 #include "cluster/summarizer.h"
@@ -81,10 +82,8 @@ struct FuzzWorld {
   }
 };
 
-class PlacementFuzz : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(PlacementFuzz, EveryStrategyStaysValidAndOracleDominates) {
-  const FuzzWorld world(GetParam());
+void run_fuzz_case(std::uint64_t seed) {
+  const FuzzWorld world(seed);
   // Ensure at least one client has accesses (the oracle requires records;
   // the all-zero case is covered by dedicated tests).
   bool any_access = false;
@@ -104,7 +103,7 @@ TEST_P(PlacementFuzz, EveryStrategyStaysValidAndOracleDominates) {
   for (const auto kind : kinds) {
     const auto placement = make_strategy(kind)->place(world.input);
     ASSERT_NO_THROW(validate_placement(placement, world.input))
-        << strategy_name(kind) << " seed " << GetParam();
+        << strategy_name(kind) << " seed " << seed;
     if (any_access) {
       const double delay = true_total_delay(world.topology, placement, world.input.clients);
       EXPECT_GE(delay + 1e-6, optimal_delay) << strategy_name(kind);
@@ -112,8 +111,29 @@ TEST_P(PlacementFuzz, EveryStrategyStaysValidAndOracleDominates) {
   }
 }
 
+class PlacementFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlacementFuzz, EveryStrategyStaysValidAndOracleDominates) {
+  run_fuzz_case(GetParam());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PlacementFuzz,
                          ::testing::Range<std::uint64_t>(1, 41));
+
+// Extended sweep with a runtime-tunable budget: CI's sanitizer job sets
+// GEORED_FUZZ_ITERS high to hunt for rare inputs; the default adds a light
+// extra pass beyond the fixed seed range above. Seeds start at 1000 so the
+// two sweeps never overlap.
+TEST(PlacementFuzzBudget, ExtendedRandomSweep) {
+  std::uint64_t iters = 10;
+  if (const char* env = std::getenv("GEORED_FUZZ_ITERS")) {
+    iters = std::strtoull(env, nullptr, 10);
+  }
+  for (std::uint64_t seed = 1000; seed < 1000 + iters; ++seed) {
+    run_fuzz_case(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
 
 }  // namespace
 }  // namespace geored::place

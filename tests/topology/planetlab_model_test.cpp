@@ -13,8 +13,8 @@ TEST(PlanetLabModel, DeterministicInSeed) {
   const Topology a = generate_planetlab_like(config, 11);
   const Topology b = generate_planetlab_like(config, 11);
   ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    for (std::size_t j = i + 1; j < a.size(); ++j) {
+  for (NodeId i = 0; i < a.size(); ++i) {
+    for (NodeId j = i + 1; j < a.size(); ++j) {
       EXPECT_EQ(a.rtt_ms(i, j), b.rtt_ms(i, j));
     }
   }
@@ -26,8 +26,8 @@ TEST(PlanetLabModel, DifferentSeedsDiffer) {
   const Topology a = generate_planetlab_like(config, 1);
   const Topology b = generate_planetlab_like(config, 2);
   bool any_different = false;
-  for (std::size_t i = 0; i < a.size() && !any_different; ++i) {
-    for (std::size_t j = i + 1; j < a.size(); ++j) {
+  for (NodeId i = 0; i < a.size() && !any_different; ++i) {
+    for (NodeId j = i + 1; j < a.size(); ++j) {
       if (a.rtt_ms(i, j) != b.rtt_ms(i, j)) {
         any_different = true;
         break;
@@ -56,8 +56,8 @@ TEST(PlanetLabModel, AllRttsPositiveAndBounded) {
   PlanetLabModelConfig config;
   config.node_count = 100;
   const Topology t = generate_planetlab_like(config, 3);
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    for (std::size_t j = i + 1; j < t.size(); ++j) {
+  for (NodeId i = 0; i < t.size(); ++i) {
+    for (NodeId j = i + 1; j < t.size(); ++j) {
       const double rtt = t.rtt_ms(i, j);
       EXPECT_GE(rtt, config.min_rtt_ms);
       EXPECT_LT(rtt, 2000.0);  // nothing on Earth is slower than 2 s RTT here

@@ -19,10 +19,10 @@ TEST(TopologyIo, SaveLoadRoundTrip) {
 
   ASSERT_EQ(loaded.size(), original.size());
   EXPECT_EQ(loaded.region_names(), original.region_names());
-  for (std::size_t i = 0; i < original.size(); ++i) {
+  for (NodeId i = 0; i < original.size(); ++i) {
     EXPECT_EQ(loaded.node(i).region, original.node(i).region);
     EXPECT_NEAR(loaded.node(i).location.lat_deg, original.node(i).location.lat_deg, 1e-4);
-    for (std::size_t j = i + 1; j < original.size(); ++j) {
+    for (NodeId j = i + 1; j < original.size(); ++j) {
       EXPECT_NEAR(loaded.rtt_ms(i, j), original.rtt_ms(i, j),
                   1e-4 * original.rtt_ms(i, j));
     }
@@ -64,11 +64,10 @@ TEST(TopologySubset, PreservesRttsAndMetadata) {
   const Topology sub = full.subset(picked);
   ASSERT_EQ(sub.size(), 4u);
   EXPECT_EQ(sub.region_names(), full.region_names());
-  for (std::size_t i = 0; i < picked.size(); ++i) {
+  for (NodeId i = 0; i < picked.size(); ++i) {
     EXPECT_EQ(sub.node(i).region, full.node(picked[i]).region);
-    for (std::size_t j = i + 1; j < picked.size(); ++j) {
-      EXPECT_EQ(sub.rtt_ms(static_cast<NodeId>(i), static_cast<NodeId>(j)),
-                full.rtt_ms(picked[i], picked[j]));
+    for (NodeId j = i + 1; j < picked.size(); ++j) {
+      EXPECT_EQ(sub.rtt_ms(i, j), full.rtt_ms(picked[i], picked[j]));
     }
   }
 }

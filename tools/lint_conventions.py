@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Repo-convention lint for geored.
+
+Checks, over src/ (the library — tests/bench/examples have their own idioms):
+
+  1. no-raw-assert      No raw `assert(...)`: invariants must use
+                        GEORED_ENSURE / GEORED_CHECK / GEORED_DCHECK so they
+                        throw typed exceptions instead of aborting (and so
+                        release builds keep the checks we want kept).
+  2. no-unseeded-rng    No `rand()`/`srand()` and no direct `std::mt19937` /
+                        `std::random_device` outside src/common/random.*:
+                        every random stream must flow through geored::Rng so
+                        simulations stay reproducible from a seed.
+  3. pragma-once        Every header under src/ starts its include-guard life
+                        with `#pragma once`.
+  4. ensure-on-entry    Public API entry points (non-static free functions and
+                        public methods defined in .cpp files) that take a
+                        size/index-like parameter must validate arguments with
+                        GEORED_ENSURE (or delegate to a function that does).
+                        Suppress a deliberate exception with a trailing
+                        `// lint: no-ensure` on the signature line.
+
+Exit status is 0 when clean, 1 when any violation is found.
+Usage: tools/lint_conventions.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+SIZE_PARAM = re.compile(
+    r"\b(?:std::)?(?:size_t|uint32_t|uint64_t|ptrdiff_t)\s+"
+    r"(k|n|index|idx|quorum|dim|dimensions|node|node_id|replica|client|count)\b"
+    r"|\bNodeId\s+\w+"
+)
+# A function definition: start of line (possibly indented once for a class),
+# a return type token, a name, an argument list, then an opening brace on the
+# same or the next line. Good enough for this codebase's clang-format style.
+FUNC_DEF = re.compile(
+    r"^(?P<indent>[ \t]*)(?!(?:if|for|while|switch|return|else|do|catch)\b)"
+    r"(?P<sig>[A-Za-z_][\w:<>,&*\s]*?[\w>&*]\s+[\w:~]+\s*\((?P<args>[^;{}]*)\)"
+    r"(?:\s*const)?(?:\s*noexcept)?)\s*(?::[^{;]+)?\{",
+    re.MULTILINE,
+)
+VALIDATORS = ("GEORED_ENSURE", "GEORED_CHECK", "GEORED_DCHECK", "validate_")
+
+
+def function_body(text: str, open_brace: int) -> str:
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_brace : i + 1]
+    return text[open_brace:]
+
+
+def strip_comments_and_strings(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return re.sub(r'"(?:[^"\\]|\\.)*"', '""', text)
+
+
+def check_no_raw_assert(path: pathlib.Path, text: str, errors: list[str]) -> None:
+    for lineno, line in enumerate(strip_comments_and_strings(text).splitlines(), 1):
+        if re.search(r"(?<!static_)\bassert\s*\(", line):
+            errors.append(
+                f"{path}:{lineno}: [no-raw-assert] use GEORED_ENSURE/CHECK/DCHECK "
+                "instead of raw assert"
+            )
+
+
+def check_no_unseeded_rng(path: pathlib.Path, text: str, errors: list[str]) -> None:
+    if "common/random" in str(path).replace("\\", "/"):
+        return
+    clean = strip_comments_and_strings(text)
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        if re.search(r"\b(?:s?rand)\s*\(", line):
+            errors.append(
+                f"{path}:{lineno}: [no-unseeded-rng] rand()/srand() breaks seeded "
+                "reproducibility; use geored::Rng"
+            )
+        if re.search(r"\bstd::(?:mt19937(?:_64)?|random_device|default_random_engine)\b", line):
+            errors.append(
+                f"{path}:{lineno}: [no-unseeded-rng] direct std RNG outside "
+                "common/random; route randomness through geored::Rng"
+            )
+
+
+def check_pragma_once(path: pathlib.Path, text: str, errors: list[str]) -> None:
+    if path.suffix != ".h":
+        return
+    if "#pragma once" not in text:
+        errors.append(f"{path}:1: [pragma-once] public header lacks '#pragma once'")
+
+
+def check_ensure_on_entry(path: pathlib.Path, text: str, errors: list[str]) -> None:
+    if path.suffix != ".cpp":
+        return
+    for match in FUNC_DEF.finditer(text):
+        sig, args = match.group("sig"), match.group("args")
+        if not SIZE_PARAM.search(args):
+            continue
+        # Lambdas, static/anonymous-namespace helpers, and suppressed lines
+        # are not public entry points.
+        sig_line_start = text.rfind("\n", 0, match.start()) + 1
+        sig_line_end = text.find("\n", match.start())
+        sig_line = text[sig_line_start : sig_line_end if sig_line_end != -1 else len(text)]
+        if "lint: no-ensure" in sig_line or sig.lstrip().startswith("static "):
+            continue
+        before = text[: match.start()]
+        if before.count("namespace {") > before.count("}  // namespace\n") and "namespace {" in before:
+            anon_open = before.rfind("namespace {")
+            anon_close = before.rfind("}  // namespace")
+            if anon_open > anon_close:
+                continue
+        body = function_body(text, match.end() - 1)  # match ends at the '{'
+        if not any(v in body for v in VALIDATORS):
+            lineno = text.count("\n", 0, match.start()) + 1
+            name = sig.split("(")[0].split()[-1]
+            errors.append(
+                f"{path}:{lineno}: [ensure-on-entry] public entry point '{name}' takes "
+                "a size/index parameter but never validates its arguments "
+                "(GEORED_ENSURE it, delegate to a validate_* helper, or mark the "
+                "signature '// lint: no-ensure')"
+            )
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    src = root / "src"
+    if not src.is_dir():
+        print(f"error: {src} is not a directory", file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".cpp", ".h"):
+            continue
+        text = path.read_text(encoding="utf-8")
+        rel = path.relative_to(root)
+        check_no_raw_assert(rel, text, errors)
+        check_no_unseeded_rng(rel, text, errors)
+        check_pragma_once(rel, text, errors)
+        check_ensure_on_entry(rel, text, errors)
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"\n{len(errors)} convention violation(s).", file=sys.stderr)
+        return 1
+    print("lint_conventions: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the library sources using the checked-in .clang-tidy.
+#
+# Usage: tools/run_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# Requires a compile-commands database; any CMake configure with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (all presets set it) produces one.
+# Exits 0 when clang-tidy is clean, 1 on findings, and 0 with a SKIP notice
+# when no clang-tidy binary is installed (so local runs on minimal machines
+# do not fail; CI installs clang-tidy and runs the real thing).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-}"
+
+if [[ -z "${build_dir}" ]]; then
+  for candidate in "${repo_root}/build" "${repo_root}/build/release" \
+                   "${repo_root}/build/asan-ubsan"; do
+    if [[ -f "${candidate}/compile_commands.json" ]]; then
+      build_dir="${candidate}"
+      break
+    fi
+  done
+fi
+
+if [[ -z "${build_dir}" || ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "error: no compile_commands.json found; configure with" >&2
+  echo "  cmake --preset release   (or -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+  exit 2
+fi
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "SKIP: no clang-tidy binary found (set CLANG_TIDY=... to override)." >&2
+  exit 0
+fi
+
+mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
+echo "run_tidy: ${tidy_bin} over ${#sources[@]} files (database: ${build_dir})"
+
+runner=""
+for candidate in run-clang-tidy run-clang-tidy-19 run-clang-tidy-18 \
+                 run-clang-tidy-17 run-clang-tidy-16 run-clang-tidy-15; do
+  if command -v "${candidate}" > /dev/null 2>&1; then
+    runner="${candidate}"
+    break
+  fi
+done
+
+if [[ -n "${runner}" ]]; then
+  "${runner}" -clang-tidy-binary "${tidy_bin}" -p "${build_dir}" -quiet \
+    "${repo_root}/src/.*\.cpp$"
+else
+  status=0
+  for source in "${sources[@]}"; do
+    "${tidy_bin}" -p "${build_dir}" --quiet "${source}" || status=1
+  done
+  exit "${status}"
+fi
