@@ -1,0 +1,494 @@
+// P1 — Hot-path performance harness: scalar reference vs optimized paths.
+//
+// Times each optimized kernel against the scalar implementation it replaced
+// (PointSet kernels vs Point loops, parallel evaluators vs the *_scalar
+// references, warm-start k-means vs a plain Point-based Lloyd, incremental
+// local search vs full re-evaluation) at three scales, checks that the
+// outputs agree, and writes machine-readable results to a JSON file
+// (BENCH_perf.json by default; see docs/performance.md).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/flags.h"
+#include "common/point_set.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "placement/evaluate.h"
+#include "placement/greedy.h"
+#include "placement/local_search.h"
+#include "topology/topology.h"
+
+using namespace geored;
+using place::CandidateInfo;
+using place::ClientRecord;
+using place::Placement;
+
+namespace {
+
+constexpr std::size_t kDim = 5;
+
+struct Scale {
+  std::string name;
+  std::size_t n_clients;
+  std::size_t n_nodes;
+  std::size_t n_candidates;
+  std::size_t k;
+  std::size_t inner;  // timed-loop repetitions for the fast cases
+};
+
+const std::vector<Scale> kScales = {
+    {"small", 2000, 400, 30, 5, 20},
+    {"medium", 20000, 1000, 60, 8, 4},
+    {"large", 100000, 2000, 100, 10, 1},
+};
+
+struct World {
+  topo::Topology topology;
+  std::vector<CandidateInfo> candidates;
+  std::vector<ClientRecord> clients;
+  std::vector<Point> client_points;  // scalar-kernel inputs
+  std::vector<Point> node_points;
+  Placement placement;
+
+  explicit World(const Scale& scale)
+      : topology(topo::Topology(std::vector<topo::NodeInfo>(0), SymMatrix(0), {})) {
+    Rng rng(0xbe5c0000 + scale.n_clients);
+    node_points.reserve(scale.n_nodes);
+    for (std::size_t i = 0; i < scale.n_nodes; ++i) {
+      Point p(kDim);
+      for (std::size_t d = 0; d < kDim; ++d) p[d] = rng.uniform(-300.0, 300.0);
+      node_points.push_back(p);
+    }
+    SymMatrix rtt(scale.n_nodes);
+    for (std::size_t i = 0; i < scale.n_nodes; ++i) {
+      for (std::size_t j = i + 1; j < scale.n_nodes; ++j) {
+        rtt.set(i, j, std::max(0.01, node_points[i].distance_to(node_points[j]) +
+                                         rng.uniform(-5.0, 5.0)));
+      }
+    }
+    topology =
+        topo::Topology(std::vector<topo::NodeInfo>(scale.n_nodes), std::move(rtt), {});
+    for (std::size_t c = 0; c < scale.n_candidates; ++c) {
+      candidates.push_back({static_cast<topo::NodeId>(c), node_points[c], 0.0});
+    }
+    clients.reserve(scale.n_clients);
+    client_points.reserve(scale.n_clients);
+    for (std::size_t u = 0; u < scale.n_clients; ++u) {
+      ClientRecord record;
+      record.client = static_cast<topo::NodeId>(rng.below(scale.n_nodes));
+      record.coords = node_points[record.client];
+      record.access_count = 1 + rng.below(50);
+      record.data_weight = static_cast<double>(record.access_count);
+      clients.push_back(record);
+      client_points.push_back(record.coords);
+    }
+    for (std::size_t r = 0; r < scale.k; ++r) {
+      placement.push_back(candidates[(r * 7) % scale.n_candidates].node);
+    }
+  }
+};
+
+struct CaseResult {
+  std::string name;
+  std::string scale;
+  std::size_t n_clients = 0;
+  std::size_t k = 0;
+  double ms_baseline = 0.0;
+  double ms_optimized = 0.0;
+  bool match = false;
+  double baseline_value = 0.0;
+  double optimized_value = 0.0;
+
+  double speedup() const {
+    return ms_optimized > 0.0 ? ms_baseline / ms_optimized : 0.0;
+  }
+};
+
+double g_sink = 0.0;  // defeats dead-code elimination of timed loops
+
+template <typename Fn>
+double time_ms(std::size_t repeats, const Fn& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  return best;
+}
+
+bool values_match(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// The pre-optimization Lloyd, reproduced verbatim in structure: per-point
+/// nearest scans over std::vector<Point>, an update step that allocates a
+/// temporary Point per input point, and a final objective + assignment
+/// recomputation — the baseline cluster::weighted_kmeans_from replaced.
+std::size_t nearest_centroid_scalar(const Point& p, const std::vector<Point>& centroids) {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double d = p.distance_squared_to(centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double scalar_lloyd_objective(const std::vector<cluster::WeightedPoint>& points,
+                              std::vector<Point> centroids,
+                              const cluster::KMeansConfig& config) {
+  const std::size_t dim = points.front().position.dim();
+  std::vector<std::size_t> assignment(points.size(), 0);
+  double prev_objective = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      assignment[i] = nearest_centroid_scalar(points[i].position, centroids);
+    }
+    std::vector<Point> sums(centroids.size(), Point(dim));
+    std::vector<double> cluster_weight(centroids.size(), 0.0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sums[assignment[i]] += points[i].position * points[i].weight;
+      cluster_weight[assignment[i]] += points[i].weight;
+    }
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (cluster_weight[c] > 0.0) centroids[c] = sums[c] / cluster_weight[c];
+    }
+    const double obj = cluster::kmeans_objective(points, centroids);
+    if (prev_objective - obj <= config.tolerance * std::max(1.0, prev_objective)) {
+      break;
+    }
+    prev_objective = obj;
+  }
+  const double objective = cluster::kmeans_objective(points, centroids);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    assignment[i] = nearest_centroid_scalar(points[i].position, centroids);
+  }
+  g_sink += static_cast<double>(assignment.back());
+  return objective;
+}
+
+/// Full-re-evaluation local search (the pre-optimization algorithm) on a
+/// greedy seed; reference for the incremental path.
+Placement naive_local_search(const place::PlacementInput& input,
+                             const place::LocalSearchConfig& config) {
+  Placement placement = place::GreedyPlacement().place(input);
+  const std::size_t n_cand = input.candidates.size();
+  const std::size_t n_client = input.clients.size();
+  if (input.clients.empty() || placement.size() == n_cand) return placement;
+  std::vector<std::vector<double>> latency(n_cand, std::vector<double>(n_client));
+  for (std::size_t c = 0; c < n_cand; ++c) {
+    for (std::size_t u = 0; u < n_client; ++u) {
+      latency[c][u] = input.candidates[c].coords.distance_to(input.clients[u].coords);
+    }
+  }
+  std::vector<std::size_t> chosen;
+  std::vector<bool> in_placement(n_cand, false);
+  for (const auto node : placement) {
+    for (std::size_t c = 0; c < n_cand; ++c) {
+      if (input.candidates[c].node == node) {
+        chosen.push_back(c);
+        in_placement[c] = true;
+        break;
+      }
+    }
+  }
+  const auto total_delay = [&](const std::vector<std::size_t>& members) {
+    double total = 0.0;
+    for (std::size_t u = 0; u < n_client; ++u) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const std::size_t c : members) best = std::min(best, latency[c][u]);
+      total += best * static_cast<double>(input.clients[u].access_count);
+    }
+    return total;
+  };
+  double current = total_delay(chosen);
+  for (std::size_t round = 0; round < config.max_rounds; ++round) {
+    double best_delta = 0.0;
+    std::size_t best_slot = 0, best_replacement = 0;
+    bool improved = false;
+    for (std::size_t slot = 0; slot < chosen.size(); ++slot) {
+      auto trial = chosen;
+      for (std::size_t c = 0; c < n_cand; ++c) {
+        if (in_placement[c]) continue;
+        trial[slot] = c;
+        const double delta = current - total_delay(trial);
+        if (delta > best_delta + config.tolerance * std::max(1.0, current)) {
+          best_delta = delta;
+          best_slot = slot;
+          best_replacement = c;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+    in_placement[chosen[best_slot]] = false;
+    in_placement[best_replacement] = true;
+    chosen[best_slot] = best_replacement;
+    current -= best_delta;
+  }
+  Placement result;
+  for (const std::size_t c : chosen) result.push_back(input.candidates[c].node);
+  return result;
+}
+
+std::vector<CaseResult> run_scale(const Scale& scale, std::size_t repeats) {
+  std::printf("== scale %s: %zu clients, %zu nodes, %zu candidates, k=%zu ==\n",
+              scale.name.c_str(), scale.n_clients, scale.n_nodes, scale.n_candidates,
+              scale.k);
+  const World world(scale);
+  std::vector<CaseResult> results;
+  const auto add_case = [&](const std::string& name, double ms_base, double ms_opt,
+                            double value_base, double value_opt, bool match) {
+    CaseResult r;
+    r.name = name;
+    r.scale = scale.name;
+    r.n_clients = scale.n_clients;
+    r.k = scale.k;
+    r.ms_baseline = ms_base;
+    r.ms_optimized = ms_opt;
+    r.baseline_value = value_base;
+    r.optimized_value = value_opt;
+    r.match = match;
+    results.push_back(r);
+    std::printf("  %-28s %10.3f ms -> %10.3f ms   %6.2fx   [%s]\n", name.c_str(),
+                ms_base, ms_opt, r.speedup(), match ? "match" : "MISMATCH");
+  };
+
+  // --- Evaluators ----------------------------------------------------------
+  double scalar_value = 0.0, fast_value = 0.0;
+  double ms_base = time_ms(repeats, [&] {
+    for (std::size_t i = 0; i < scale.inner; ++i) {
+      scalar_value = place::true_total_delay_scalar(world.topology, world.placement,
+                                                    world.clients);
+      g_sink += scalar_value;
+    }
+  });
+  double ms_opt = time_ms(repeats, [&] {
+    for (std::size_t i = 0; i < scale.inner; ++i) {
+      fast_value = place::true_total_delay(world.topology, world.placement, world.clients);
+      g_sink += fast_value;
+    }
+  });
+  add_case("true_total_delay", ms_base, ms_opt, scalar_value, fast_value,
+           values_match(scalar_value, fast_value));
+
+  ms_base = time_ms(repeats, [&] {
+    for (std::size_t i = 0; i < scale.inner; ++i) {
+      scalar_value = place::estimated_total_delay_scalar(world.placement, world.candidates,
+                                                         world.clients);
+      g_sink += scalar_value;
+    }
+  });
+  ms_opt = time_ms(repeats, [&] {
+    for (std::size_t i = 0; i < scale.inner; ++i) {
+      fast_value =
+          place::estimated_total_delay(world.placement, world.candidates, world.clients);
+      g_sink += fast_value;
+    }
+  });
+  add_case("estimated_total_delay", ms_base, ms_opt, scalar_value, fast_value,
+           values_match(scalar_value, fast_value));
+
+  // --- PointSet kernels vs Point loops -------------------------------------
+  const PointSet client_set = PointSet::from_points(world.client_points);
+  double scalar_acc = 0.0, fast_acc = 0.0;
+  ms_base = time_ms(repeats, [&] {
+    scalar_acc = 0.0;
+    for (const auto& candidate : world.candidates) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < world.client_points.size(); ++i) {
+        const double d = world.client_points[i].distance_squared_to(candidate.coords);
+        if (d < best_d) {
+          best_d = d;
+          best = i;
+        }
+      }
+      scalar_acc += static_cast<double>(best) + best_d;
+    }
+    g_sink += scalar_acc;
+  });
+  ms_opt = time_ms(repeats, [&] {
+    fast_acc = 0.0;
+    for (const auto& candidate : world.candidates) {
+      double best_d = 0.0;
+      const std::size_t best = client_set.nearest_of(candidate.coords, &best_d);
+      fast_acc += static_cast<double>(best) + best_d;
+    }
+    g_sink += fast_acc;
+  });
+  add_case("kernel_nearest_of", ms_base, ms_opt, scalar_acc, fast_acc,
+           scalar_acc == fast_acc);
+
+  std::vector<double> row(world.client_points.size());
+  ms_base = time_ms(repeats, [&] {
+    scalar_acc = 0.0;
+    for (const auto& candidate : world.candidates) {
+      for (std::size_t i = 0; i < world.client_points.size(); ++i) {
+        row[i] = world.client_points[i].distance_to(candidate.coords);
+      }
+      scalar_acc += row[world.client_points.size() / 2];
+    }
+    g_sink += scalar_acc;
+  });
+  ms_opt = time_ms(repeats, [&] {
+    fast_acc = 0.0;
+    for (const auto& candidate : world.candidates) {
+      client_set.distance_row(candidate.coords, row.data());
+      fast_acc += row[world.client_points.size() / 2];
+    }
+    g_sink += fast_acc;
+  });
+  add_case("kernel_distance_row", ms_base, ms_opt, scalar_acc, fast_acc,
+           scalar_acc == fast_acc);
+
+  const PointSet node_set = PointSet::from_points(world.node_points);
+  ms_base = time_ms(repeats, [&] {
+    std::size_t best_a = 0, best_b = 1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < world.node_points.size(); ++a) {
+      for (std::size_t b = a + 1; b < world.node_points.size(); ++b) {
+        const double d = world.node_points[a].distance_squared_to(world.node_points[b]);
+        if (d < best_d) {
+          best_d = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    scalar_acc = static_cast<double>(best_a * world.node_points.size() + best_b) + best_d;
+    g_sink += scalar_acc;
+  });
+  ms_opt = time_ms(repeats, [&] {
+    double best_d = 0.0;
+    const auto [a, b] = node_set.pairwise_min_distance(&best_d);
+    fast_acc = static_cast<double>(a * world.node_points.size() + b) + best_d;
+    g_sink += fast_acc;
+  });
+  add_case("kernel_pairwise_min", ms_base, ms_opt, scalar_acc, fast_acc,
+           scalar_acc == fast_acc);
+
+  // --- Lloyd's k-means (warm start, no seeding randomness) -----------------
+  std::vector<cluster::WeightedPoint> weighted;
+  weighted.reserve(world.clients.size());
+  for (const auto& client : world.clients) {
+    weighted.push_back({client.coords, static_cast<double>(client.access_count)});
+  }
+  std::vector<Point> initial;
+  for (std::size_t c = 0; c < scale.k; ++c) {
+    initial.push_back(weighted[(c * weighted.size()) / scale.k].position);
+  }
+  cluster::KMeansConfig kconfig;
+  kconfig.k = scale.k;
+  kconfig.max_iterations = 20;
+  ms_base = time_ms(repeats, [&] {
+    scalar_value = scalar_lloyd_objective(weighted, initial, kconfig);
+    g_sink += scalar_value;
+  });
+  ms_opt = time_ms(repeats, [&] {
+    fast_value = cluster::weighted_kmeans_from(weighted, initial, kconfig).objective;
+    g_sink += fast_value;
+  });
+  add_case("lloyd_kmeans", ms_base, ms_opt, scalar_value, fast_value,
+           values_match(scalar_value, fast_value));
+
+  // --- Local search: full re-evaluation vs incremental deltas --------------
+  // The naive reference is O(rounds * k^2 * candidates * clients); at the
+  // large scale that is minutes of runtime, so this case covers the two
+  // smaller scales only.
+  if (scale.n_clients <= 20000) {
+    place::PlacementInput input;
+    input.candidates = world.candidates;
+    input.clients = world.clients;
+    input.k = scale.k;
+    place::LocalSearchConfig lconfig;
+    lconfig.max_rounds = 4;
+    Placement naive, incremental;
+    ms_base = time_ms(repeats, [&] {
+      naive = naive_local_search(input, lconfig);
+      g_sink += static_cast<double>(naive.size());
+    });
+    const place::LocalSearchPlacement search(std::make_unique<place::GreedyPlacement>(),
+                                             lconfig);
+    ms_opt = time_ms(repeats, [&] {
+      incremental = search.place(input);
+      g_sink += static_cast<double>(incremental.size());
+    });
+    add_case("local_search", ms_base, ms_opt, static_cast<double>(naive.size()),
+             static_cast<double>(incremental.size()), naive == incremental);
+  }
+  return results;
+}
+
+void write_json(const std::string& path, std::size_t threads,
+                const std::vector<CaseResult>& results) {
+  std::ofstream out(path);
+  out << "{\n  \"threads\": " << threads << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"scale\": \"" << r.scale
+        << "\", \"n_clients\": " << r.n_clients << ", \"k\": " << r.k
+        << ", \"ms_baseline\": " << r.ms_baseline << ", \"ms_optimized\": " << r.ms_optimized
+        << ", \"speedup\": " << r.speedup() << ", \"baseline_value\": " << r.baseline_value
+        << ", \"optimized_value\": " << r.optimized_value
+        << ", \"match\": " << (r.match ? "true" : "false") << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags("micro_perf", "Scalar-vs-optimized timings for the hot paths");
+  flags.add_string("scale", "all", "Scale to run: small, medium, large, or all");
+  flags.add_string("out", "BENCH_perf.json", "Output JSON path");
+  flags.add_int("threads", 0, "Thread count (0 = GEORED_THREADS or hardware)");
+  flags.add_int("repeats", 3, "Timing repetitions; the best run is reported");
+  flags.parse(std::vector<std::string>(argv + 1, argv + argc));
+  if (flags.help_requested()) {
+    std::printf("%s", flags.help().c_str());
+    return 0;
+  }
+  const auto threads = static_cast<std::size_t>(std::max<std::int64_t>(0, flags.get_int("threads")));
+  if (threads > 0) ThreadPool::set_global_thread_count(threads);
+  const std::size_t used_threads = ThreadPool::global().thread_count();
+  const auto repeats =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, flags.get_int("repeats")));
+  const std::string which = flags.get_string("scale");
+
+  std::printf("micro_perf: %zu thread(s), %zu repeat(s)\n", used_threads, repeats);
+  std::vector<CaseResult> all;
+  for (const auto& scale : kScales) {
+    if (which != "all" && which != scale.name) continue;
+    const auto results = run_scale(scale, repeats);
+    all.insert(all.end(), results.begin(), results.end());
+  }
+  if (all.empty()) {
+    std::fprintf(stderr, "unknown --scale '%s' (small|medium|large|all)\n", which.c_str());
+    return 1;
+  }
+  write_json(flags.get_string("out"), used_threads, all);
+  std::printf("wrote %s (sink %.1f)\n", flags.get_string("out").c_str(), g_sink);
+
+  bool all_match = true;
+  for (const auto& r : all) all_match = all_match && r.match;
+  if (!all_match) {
+    std::fprintf(stderr, "MISMATCH between scalar and optimized results\n");
+    return 1;
+  }
+  return 0;
+}

@@ -5,81 +5,155 @@
 #include <limits>
 
 #include "common/ensure.h"
+#include "common/point_set.h"
+#include "common/thread_pool.h"
 
 namespace geored::cluster {
 
 namespace {
 
+/// Below this many points the Lloyd passes stay sequential (pool dispatch
+/// would dominate). Per-point results are written independently, so the
+/// parallel passes are bitwise identical to the sequential ones at any
+/// thread count — the threshold is purely a performance gate.
+constexpr std::size_t kMinParallelPoints = 2048;
+
 /// Debug check: every centroid is finite with the expected dimensionality.
-bool centroids_finite(const std::vector<Point>& centroids, std::size_t dim) {
-  for (const auto& c : centroids) {
-    if (c.dim() != dim || !c.is_finite()) return false;
+bool centroids_finite(const PointSet& centroids, std::size_t dim) {
+  if (centroids.dim() != dim) return false;
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double* row = centroids.row(c);
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (!std::isfinite(row[d])) return false;
+    }
   }
   return true;
 }
 
-std::size_t nearest_centroid(const Point& p, const std::vector<Point>& centroids) {
-  std::size_t best = 0;
-  double best_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < centroids.size(); ++c) {
-    const double dist = p.distance_squared_to(centroids[c]);
-    if (dist < best_dist) {
-      best_dist = dist;
-      best = c;
-    }
+/// Contiguous (structure-of-arrays) view of the weighted input, built once
+/// per solve so the hot loops never chase per-Point heap allocations.
+struct FlatPoints {
+  PointSet positions;
+  std::vector<double> weights;
+};
+
+FlatPoints flatten(const std::vector<WeightedPoint>& points) {
+  FlatPoints flat;
+  flat.positions = PointSet(points.front().position.dim());
+  flat.positions.reserve(points.size());
+  flat.weights.reserve(points.size());
+  for (const auto& wp : points) {
+    flat.positions.push_back(wp.position);
+    flat.weights.push_back(wp.weight);
   }
-  return best;
+  return flat;
+}
+
+/// Per-point squared distance to the nearest centroid (parallel, per-point
+/// writes) followed by a sequential weighted sum in point order — the exact
+/// accumulation order of the scalar kmeans_objective.
+double objective_of(const FlatPoints& points, const PointSet& centroids,
+                    std::vector<double>& best_dist_sq,
+                    std::vector<std::size_t>* assignment = nullptr) {
+  const std::size_t n = points.positions.size();
+  parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t nearest =
+              centroids.nearest_of(points.positions.row(i), &best_dist_sq[i]);
+          if (assignment != nullptr) (*assignment)[i] = nearest;
+        }
+      },
+      kMinParallelPoints);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += points.weights[i] * best_dist_sq[i];
+  return total;
 }
 
 /// k-means++ seeding over weighted points: the first centroid is drawn with
 /// probability proportional to weight, subsequent ones proportional to
 /// weight * D^2 (distance to the nearest already-chosen centroid).
-std::vector<Point> kmeanspp_seed(const std::vector<WeightedPoint>& points, std::size_t k,
-                                 Rng& rng) {
-  std::vector<double> weights(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) weights[i] = points[i].weight;
-
-  std::vector<Point> centroids;
+PointSet kmeanspp_seed(const FlatPoints& points, std::size_t k, Rng& rng) {
+  const std::size_t n = points.positions.size();
+  PointSet centroids(points.positions.dim());
   centroids.reserve(k);
-  centroids.push_back(points[rng.weighted_index(weights)].position);
+  centroids.push_back(points.positions.point(rng.weighted_index(points.weights)));
 
-  std::vector<double> dist_sq(points.size(), std::numeric_limits<double>::infinity());
+  std::vector<double> dist_sq(n, std::numeric_limits<double>::infinity());
+  // Scratch hoisted out of the seeding loop instead of reallocating per
+  // chosen centroid.
+  std::vector<double> probs(n);
   while (centroids.size() < k) {
-    std::vector<double> probs(points.size());
+    const double* last = centroids.row(centroids.size() - 1);
+    parallel_for(
+        n,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            dist_sq[i] = std::min(dist_sq[i], points.positions.distance_squared(i, last));
+          }
+        },
+        kMinParallelPoints);
     double total = 0.0;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      dist_sq[i] = std::min(dist_sq[i], points[i].position.distance_squared_to(centroids.back()));
-      probs[i] = points[i].weight * dist_sq[i];
+    for (std::size_t i = 0; i < n; ++i) {
+      probs[i] = points.weights[i] * dist_sq[i];
       total += probs[i];
     }
     if (total <= 0.0) break;  // all remaining mass sits on chosen centroids
-    centroids.push_back(points[rng.weighted_index(probs)].position);
+    centroids.push_back(points.positions.point(rng.weighted_index(probs)));
   }
   return centroids;
 }
 
 /// Lloyd's algorithm from given centroids; shared by the seeded and
 /// warm-start entry points.
-KMeansResult lloyd(const std::vector<WeightedPoint>& points, std::vector<Point> centroids,
-                   const KMeansConfig& config) {
-  const std::size_t dim = points.front().position.dim();
+KMeansResult lloyd(const FlatPoints& points, PointSet centroids, const KMeansConfig& config) {
+  const std::size_t n = points.positions.size();
+  const std::size_t dim = points.positions.dim();
+  const std::size_t k = centroids.size();
   double total_weight = 0.0;
-  for (const auto& wp : points) total_weight += wp.weight;
-  std::vector<std::size_t> assignment(points.size(), 0);
+  for (const double w : points.weights) total_weight += w;
+  std::vector<std::size_t> assignment(n, 0);
+  // Accumulators reused across iterations instead of reallocating each one.
+  std::vector<double> sums(k * dim);
+  std::vector<double> cluster_weight(k);
+  std::vector<double> best_dist_sq(n);
   double prev_objective = std::numeric_limits<double>::infinity();
   std::size_t iterations = 0;
+  // The convergence objective at the end of each iteration already assigns
+  // every point to its nearest (post-update) centroid, which is exactly the
+  // assignment the next iteration needs — so the explicit assignment scan
+  // only runs once, before the first update.
+  bool assignment_current = false;
   for (; iterations < config.max_iterations; ++iterations) {
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      assignment[i] = nearest_centroid(points[i].position, centroids);
+    // Assignment step: independent per-point nearest-centroid scans.
+    if (!assignment_current) {
+      parallel_for(
+          n,
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              assignment[i] = centroids.nearest_of(points.positions.row(i));
+            }
+          },
+          kMinParallelPoints);
     }
-    std::vector<Point> sums(centroids.size(), Point(dim));
-    std::vector<double> cluster_weight(centroids.size(), 0.0);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      sums[assignment[i]] += points[i].position * points[i].weight;
-      cluster_weight[assignment[i]] += points[i].weight;
+    // Update step: sequential accumulation in point order (deterministic).
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(cluster_weight.begin(), cluster_weight.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = assignment[i];
+      const double w = points.weights[i];
+      const double* p = points.positions.row(i);
+      double* sum = sums.data() + c * dim;
+      for (std::size_t d = 0; d < dim; ++d) sum[d] += p[d] * w;
+      cluster_weight[c] += w;
     }
-    for (std::size_t c = 0; c < centroids.size(); ++c) {
-      if (cluster_weight[c] > 0.0) centroids[c] = sums[c] / cluster_weight[c];
+    for (std::size_t c = 0; c < k; ++c) {
+      if (cluster_weight[c] > 0.0) {
+        double* row = centroids.mutable_row(c);
+        const double* sum = sums.data() + c * dim;
+        for (std::size_t d = 0; d < dim; ++d) row[d] = sum[d] / cluster_weight[c];
+      }
       // Empty clusters keep their previous centroid; with good seeding this
       // is rare and self-corrects on the next assignment.
     }
@@ -96,7 +170,8 @@ KMeansResult lloyd(const std::vector<WeightedPoint>& points, std::vector<Point> 
         "k-means iteration lost or invented point weight");
     GEORED_DCHECK(centroids_finite(centroids, dim),
                   "k-means produced a non-finite centroid");
-    const double objective = kmeans_objective(points, centroids);
+    const double objective = objective_of(points, centroids, best_dist_sq, &assignment);
+    assignment_current = true;  // now reflects the post-update centroids
     if (prev_objective - objective <= config.tolerance * std::max(1.0, prev_objective)) {
       prev_objective = objective;
       ++iterations;
@@ -105,13 +180,14 @@ KMeansResult lloyd(const std::vector<WeightedPoint>& points, std::vector<Point> 
     prev_objective = objective;
   }
   KMeansResult result;
-  result.objective = kmeans_objective(points, centroids);
-  result.iterations = iterations;
-  result.assignment.resize(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    result.assignment[i] = nearest_centroid(points[i].position, centroids);
+  if (!assignment_current) {  // max_iterations == 0: no pass has run yet
+    prev_objective = objective_of(points, centroids, best_dist_sq, &assignment);
   }
-  result.centroids = std::move(centroids);
+  result.objective = prev_objective;
+  result.assignment = std::move(assignment);
+  result.iterations = iterations;
+  result.centroids.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) result.centroids.push_back(centroids.point(c));
   return result;
 }
 
@@ -140,12 +216,13 @@ KMeansResult weighted_kmeans(const std::vector<WeightedPoint>& points,
   }
   GEORED_ENSURE(total_weight > 0.0, "k-means requires positive total weight");
 
+  const FlatPoints flat = flatten(points);
   KMeansResult best_result;
   best_result.objective = std::numeric_limits<double>::infinity();
 
   const std::size_t restarts = std::max<std::size_t>(1, config.restarts);
   for (std::size_t restart = 0; restart < restarts; ++restart) {
-    KMeansResult result = lloyd(points, kmeanspp_seed(points, config.k, rng), config);
+    KMeansResult result = lloyd(flat, kmeanspp_seed(flat, config.k, rng), config);
     if (result.objective < best_result.objective) best_result = std::move(result);
   }
   return best_result;
@@ -160,7 +237,7 @@ KMeansResult weighted_kmeans_from(const std::vector<WeightedPoint>& points,
     GEORED_ENSURE(centroid.dim() == points.front().position.dim(),
                   "centroid dimension mismatch");
   }
-  return lloyd(points, std::move(initial_centroids), config);
+  return lloyd(flatten(points), PointSet::from_points(initial_centroids), config);
 }
 
 KMeansResult kmeans(const std::vector<Point>& points, const KMeansConfig& config, Rng& rng) {

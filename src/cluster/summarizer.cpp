@@ -1,5 +1,6 @@
 #include "cluster/summarizer.h"
 
+#include <cmath>
 #include <limits>
 
 #include "common/ensure.h"
@@ -20,12 +21,14 @@ void MicroClusterSummarizer::add(const Point& coords, double weight) {
   ++total_count_;
   if (clusters_.empty()) {
     clusters_.emplace_back(coords, weight);
+    centroids_.push_back(clusters_.back().centroid());
     return;
   }
 
-  const std::size_t nearest = nearest_cluster(coords);
+  double dist_sq = 0.0;
+  const std::size_t nearest = nearest_cluster(coords, &dist_sq);
   MicroCluster& candidate = clusters_[nearest];
-  const double distance = coords.distance_to(candidate.centroid());
+  const double distance = std::sqrt(dist_sq);
   // The paper's rule: absorb when the client is within the cluster's
   // standard deviation; the configurable floor keeps singleton clusters
   // (stddev 0) from rejecting everything.
@@ -33,10 +36,12 @@ void MicroClusterSummarizer::add(const Point& coords, double weight) {
       std::max(config_.min_absorb_radius, config_.radius_factor * candidate.rms_stddev());
   if (distance <= radius) {
     candidate.absorb(coords, weight);
+    centroids_.assign_row(nearest, candidate.centroid());
     return;
   }
 
   clusters_.emplace_back(coords, weight);
+  centroids_.push_back(clusters_.back().centroid());
   if (clusters_.size() > config_.max_clusters) {
     merge_closest_pair();
   }
@@ -48,6 +53,7 @@ void MicroClusterSummarizer::merge_cluster(const MicroCluster& cluster) {
   if (cluster.count() == 0) return;
   total_count_ += cluster.count();
   clusters_.push_back(cluster);
+  centroids_.push_back(cluster.centroid());
   if (clusters_.size() > config_.max_clusters) {
     merge_closest_pair();
   }
@@ -55,37 +61,21 @@ void MicroClusterSummarizer::merge_cluster(const MicroCluster& cluster) {
                 "summarizer exceeded its micro-cluster budget after merge_cluster");
 }
 
-std::size_t MicroClusterSummarizer::nearest_cluster(const Point& coords) const {
+std::size_t MicroClusterSummarizer::nearest_cluster(const Point& coords,
+                                                    double* dist_sq) const {
   GEORED_CHECK(!clusters_.empty(), "nearest_cluster on empty summarizer");
-  std::size_t best = 0;
-  double best_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < clusters_.size(); ++i) {
-    const double dist = coords.distance_squared_to(clusters_[i].centroid());
-    if (dist < best_dist) {
-      best_dist = dist;
-      best = i;
-    }
-  }
-  return best;
+  GEORED_DCHECK(centroids_.size() == clusters_.size(),
+                "summarizer centroid cache out of sync");
+  return centroids_.nearest_of(coords, dist_sq);
 }
 
 void MicroClusterSummarizer::merge_closest_pair() {
   GEORED_CHECK(clusters_.size() >= 2, "merge requires at least two clusters");
-  std::size_t best_a = 0, best_b = 1;
-  double best_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t a = 0; a < clusters_.size(); ++a) {
-    const Point centroid_a = clusters_[a].centroid();
-    for (std::size_t b = a + 1; b < clusters_.size(); ++b) {
-      const double dist = centroid_a.distance_squared_to(clusters_[b].centroid());
-      if (dist < best_dist) {
-        best_dist = dist;
-        best_a = a;
-        best_b = b;
-      }
-    }
-  }
+  const auto [best_a, best_b] = centroids_.pairwise_min_distance();
   clusters_[best_a].merge(clusters_[best_b]);
+  centroids_.assign_row(best_a, clusters_[best_a].centroid());
   clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(best_b));
+  centroids_.erase_row(best_b);
 }
 
 void MicroClusterSummarizer::decay() {
@@ -96,11 +86,18 @@ void MicroClusterSummarizer::decay() {
     if (cluster.count() > 0) survivors.push_back(cluster);
   }
   clusters_ = std::move(survivors);
+  rebuild_centroids();
 }
 
 void MicroClusterSummarizer::clear() {
   clusters_.clear();
+  centroids_ = PointSet();  // fresh set so a new stream may change dimension
   total_count_ = 0;
+}
+
+void MicroClusterSummarizer::rebuild_centroids() {
+  centroids_ = PointSet();
+  for (const auto& cluster : clusters_) centroids_.push_back(cluster.centroid());
 }
 
 void MicroClusterSummarizer::serialize(ByteWriter& writer) const {

@@ -13,6 +13,7 @@
 
 #include "cluster/microcluster.h"
 #include "common/point.h"
+#include "common/point_set.h"
 #include "common/serialize.h"
 
 namespace geored::cluster {
@@ -63,11 +64,16 @@ class MicroClusterSummarizer {
   static std::vector<MicroCluster> deserialize_clusters(ByteReader& reader);
 
  private:
-  std::size_t nearest_cluster(const Point& coords) const;
+  std::size_t nearest_cluster(const Point& coords, double* dist_sq = nullptr) const;
   void merge_closest_pair();
+  void rebuild_centroids();
 
   SummarizerConfig config_;
   std::vector<MicroCluster> clusters_;
+  /// Contiguous cache of clusters_[i].centroid(), kept in sync by every
+  /// mutation so the per-access nearest/merge scans run on one flat buffer
+  /// instead of recomputing sum/count Points per cluster per access.
+  PointSet centroids_;
   std::uint64_t total_count_ = 0;
 };
 

@@ -1,0 +1,97 @@
+#include "common/point_set.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/ensure.h"
+
+namespace geored {
+
+PointSet::PointSet(std::size_t dim) : dim_(dim) {}
+
+PointSet PointSet::from_points(const std::vector<Point>& points) {
+  PointSet set(points.empty() ? 0 : points.front().dim());
+  set.reserve(points.size());
+  for (const auto& p : points) set.push_back(p);
+  return set;
+}
+
+void PointSet::push_back(const Point& p) {
+  if (n_ == 0 && dim_ == 0) dim_ = p.dim();
+  GEORED_ENSURE(p.dim() == dim_, "PointSet rows must share one dimension");
+  data_.insert(data_.end(), p.values().begin(), p.values().end());
+  ++n_;
+}
+
+void PointSet::assign_row(std::size_t i, const Point& p) {
+  GEORED_ENSURE(i < size(), "PointSet row index out of range");
+  GEORED_ENSURE(p.dim() == dim_, "PointSet rows must share one dimension");
+  double* r = mutable_row(i);
+  for (std::size_t d = 0; d < dim_; ++d) r[d] = p[d];
+}
+
+void PointSet::erase_row(std::size_t i) {
+  GEORED_ENSURE(i < size(), "PointSet row index out of range");
+  const auto begin = data_.begin() + static_cast<std::ptrdiff_t>(i * dim_);
+  data_.erase(begin, begin + static_cast<std::ptrdiff_t>(dim_));
+  --n_;
+}
+
+Point PointSet::point(std::size_t i) const {
+  GEORED_ENSURE(i < size(), "PointSet row index out of range");
+  const double* r = row(i);
+  return Point(std::vector<double>(r, r + dim_));
+}
+
+std::size_t PointSet::nearest_of(const double* query, double* best_dist_sq) const {
+  GEORED_ENSURE(!empty(), "nearest_of on an empty PointSet");
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dist = distance_squared(i, query);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  if (best_dist_sq != nullptr) *best_dist_sq = best_dist;
+  return best;
+}
+
+std::size_t PointSet::nearest_of(const Point& query, double* best_dist_sq) const {
+  GEORED_ENSURE(query.dim() == dim_, "query dimension mismatch in nearest_of");
+  return nearest_of(query.values().data(), best_dist_sq);
+}
+
+void PointSet::distance_row(const double* query, double* out) const {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::sqrt(distance_squared(i, query));
+}
+
+void PointSet::distance_row(const Point& query, double* out) const {
+  GEORED_ENSURE(query.dim() == dim_, "query dimension mismatch in distance_row");
+  distance_row(query.values().data(), out);
+}
+
+std::pair<std::size_t, std::size_t> PointSet::pairwise_min_distance(double* dist_sq) const {
+  GEORED_ENSURE(size() >= 2, "pairwise_min_distance requires at least two rows");
+  std::size_t best_a = 0, best_b = 1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  const std::size_t n = size();
+  for (std::size_t a = 0; a + 1 < n; ++a) {
+    const double* row_a = row(a);
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double dist = distance_squared(b, row_a);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  if (dist_sq != nullptr) *dist_sq = best_dist;
+  return {best_a, best_b};
+}
+
+}  // namespace geored

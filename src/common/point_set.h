@@ -1,0 +1,102 @@
+// Structure-of-arrays point storage for the hot distance kernels.
+//
+// Point (one heap-allocated std::vector<double> per point) is the right
+// value type at API boundaries, but walking a std::vector<Point> in a hot
+// loop chases one pointer per point and defeats both the prefetcher and the
+// auto-vectorizer. PointSet stores n points of a fixed dimension in one
+// contiguous n×dim row-major buffer and provides the batched kernels the
+// clustering and placement hot paths are written against:
+//
+//   nearest_of             index of the row closest to a query point
+//   distance_row           Euclidean distance from a query to every row
+//   pairwise_min_distance  the closest pair of rows
+//
+// All kernels iterate rows in index order and dimensions in ascending order
+// with the exact floating-point operation sequence of the scalar Point
+// reference paths (Point::distance_squared_to and linear scans with a
+// strict `<`), so results are bit-identical to the Point-based code they
+// replace — see tests/common/point_set_test.cpp and docs/performance.md.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/point.h"
+
+namespace geored {
+
+class PointSet {
+ public:
+  /// An empty set; the dimension is adopted from the first row pushed.
+  PointSet() = default;
+
+  /// An empty set of points in R^dim.
+  explicit PointSet(std::size_t dim);
+
+  /// Builds a set from existing points (all of one dimension).
+  static PointSet from_points(const std::vector<Point>& points);
+
+  std::size_t size() const { return n_; }
+  std::size_t dim() const { return dim_; }
+  bool empty() const { return n_ == 0; }
+
+  void reserve(std::size_t n) { data_.reserve(n * dim_); }
+  void clear() {
+    data_.clear();
+    n_ = 0;
+  }
+
+  /// Appends a point. An empty set with unspecified dimension (default
+  /// construction) adopts the dimension of the first point.
+  void push_back(const Point& p);
+
+  /// Overwrites row `i` with `p` (matching dimension required).
+  void assign_row(std::size_t i, const Point& p);
+
+  /// Removes row `i`, shifting later rows down (vector::erase semantics).
+  void erase_row(std::size_t i);
+
+  /// Borrowed pointer to row `i`'s `dim()` contiguous components.
+  const double* row(std::size_t i) const { return data_.data() + i * dim_; }
+  double* mutable_row(std::size_t i) { return data_.data() + i * dim_; }
+
+  /// Copies row `i` back out as a Point.
+  Point point(std::size_t i) const;
+
+  /// Squared Euclidean distance between row `i` and the `dim()` components
+  /// at `q`; same operation order as Point::distance_squared_to.
+  double distance_squared(std::size_t i, const double* q) const {
+    const double* r = row(i);
+    double total = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const double diff = r[d] - q[d];
+      total += diff * diff;
+    }
+    return total;
+  }
+
+  /// Index of the row nearest to `query` (squared-distance argmin, first
+  /// winner on ties — the same scan as the scalar nearest-centroid loops).
+  /// Requires a non-empty set. If `best_dist_sq` is non-null it receives
+  /// the winning squared distance.
+  std::size_t nearest_of(const double* query, double* best_dist_sq = nullptr) const;
+  std::size_t nearest_of(const Point& query, double* best_dist_sq = nullptr) const;
+
+  /// Fills out[i] with the Euclidean distance from `query` to row i
+  /// (`out` must hold size() doubles).
+  void distance_row(const double* query, double* out) const;
+  void distance_row(const Point& query, double* out) const;
+
+  /// The closest pair of rows (a < b), scanning pairs in the same
+  /// lexicographic order as the scalar double loop. Requires size() >= 2.
+  /// If `dist_sq` is non-null it receives the pair's squared distance.
+  std::pair<std::size_t, std::size_t> pairwise_min_distance(double* dist_sq = nullptr) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t n_ = 0;         // explicit so zero-dimension points still count
+  std::vector<double> data_;  // size() * dim_ row-major components
+};
+
+}  // namespace geored

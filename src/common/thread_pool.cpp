@@ -1,0 +1,155 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/ensure.h"
+
+namespace geored {
+
+namespace {
+
+std::mutex g_global_pool_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;  // guarded by g_global_pool_mutex
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_chunks(std::size_t n, const std::function<void(std::size_t)>& chunk_fn) {
+  GEORED_ENSURE(chunk_fn, "run_chunks requires a callable chunk function");
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t c = 0; c < n; ++c) chunk_fn(c);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  GEORED_CHECK(task_ == nullptr, "nested or concurrent run_chunks on one ThreadPool");
+  task_ = &chunk_fn;
+  num_chunks_ = n;
+  next_chunk_ = 0;
+  completed_ = 0;
+  error_ = nullptr;
+  task_cv_.notify_all();
+  drain(lock);  // the caller participates
+  done_cv_.wait(lock, [this] { return completed_ == num_chunks_; });
+  task_ = nullptr;
+  num_chunks_ = 0;
+  if (error_) {
+    const std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
+  while (next_chunk_ < num_chunks_) {
+    const std::size_t chunk = next_chunk_++;
+    const std::function<void(std::size_t)>* task = task_;
+    lock.unlock();
+    std::exception_ptr thrown;
+    try {
+      (*task)(chunk);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
+    lock.lock();
+    if (thrown && !error_) error_ = thrown;
+    ++completed_;
+    if (completed_ == num_chunks_) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    task_cv_.wait(lock, [this] { return stop_ || next_chunk_ < num_chunks_; });
+    if (stop_) return;
+    drain(lock);
+  }
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("GEORED_THREADS")) {
+    try {
+      const long long parsed = std::stoll(env);
+      if (parsed >= 1) return static_cast<std::size_t>(parsed > 1024 ? 1024 : parsed);
+    } catch (const std::exception&) {
+      // Unparsable values fall through to the hardware default.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool& ThreadPool::global() {
+  const std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+  if (!g_global_pool) g_global_pool = std::make_unique<ThreadPool>();
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_thread_count(std::size_t threads) {
+  const std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+  g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_parallel) {
+  GEORED_ENSURE(body, "parallel_for requires a callable body");
+  if (n == 0) return;
+  if (n < min_parallel) {
+    body(0, n);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t chunks = pool.thread_count();
+  if (chunks == 1) {
+    body(0, n);
+    return;
+  }
+  pool.run_chunks(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * n / chunks;
+    const std::size_t end = (c + 1) * n / chunks;
+    if (begin < end) body(begin, end);
+  });
+}
+
+double parallel_reduce_sum(std::size_t n,
+                           const std::function<double(std::size_t, std::size_t)>& body,
+                           std::size_t min_parallel) {
+  GEORED_ENSURE(body, "parallel_reduce_sum requires a callable body");
+  if (n == 0) return 0.0;
+  if (n < min_parallel) return body(0, n);
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t chunks = pool.thread_count();
+  if (chunks == 1) return body(0, n);
+  std::vector<double> partials(chunks, 0.0);
+  pool.run_chunks(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * n / chunks;
+    const std::size_t end = (c + 1) * n / chunks;
+    if (begin < end) partials[c] = body(begin, end);
+  });
+  // Ascending chunk order: the determinism contract of the reduction.
+  double total = 0.0;
+  for (const double partial : partials) total += partial;
+  return total;
+}
+
+}  // namespace geored

@@ -1,0 +1,99 @@
+// A small, work-stealing-free thread pool and the deterministic data-parallel
+// primitives built on it.
+//
+// Design constraints (see docs/performance.md):
+//   * Determinism. parallel_for / parallel_reduce_sum split [0, n) into one
+//     contiguous chunk per pool thread. Chunk boundaries depend only on n and
+//     the thread count, each chunk is processed sequentially, and reduction
+//     partials are combined in ascending chunk order — so results are
+//     bit-reproducible run-to-run at a fixed thread count, and at one thread
+//     they are byte-identical to the plain sequential loop (a single chunk
+//     covering [0, n) in order).
+//   * No work stealing. Chunks are claimed from a shared counter under the
+//     pool mutex; which thread runs a chunk never affects where its result
+//     lands, so scheduling jitter cannot change output.
+//   * Thread count. The global pool is sized by the GEORED_THREADS
+//     environment variable, defaulting to std::thread::hardware_concurrency.
+//     With one thread the pool spawns no workers and everything runs inline
+//     on the caller.
+//
+// Nested parallelism is not supported: a chunk body must not itself call
+// parallel_for / parallel_reduce_sum on the same pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace geored {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that runs work on `threads` threads in total (the
+  /// calling thread participates, so `threads - 1` workers are spawned).
+  /// 0 means default_thread_count().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute work, including the caller of run_chunks.
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs chunk_fn(c) for every c in [0, n) across the pool; the calling
+  /// thread participates. Blocks until all chunks finish. If any chunk
+  /// throws, the first exception (in completion order) is rethrown here
+  /// after the remaining chunks have run.
+  void run_chunks(std::size_t n, const std::function<void(std::size_t)>& chunk_fn);
+
+  /// GEORED_THREADS environment override if set (clamped to [1, 1024]),
+  /// otherwise std::thread::hardware_concurrency() (at least 1).
+  static std::size_t default_thread_count();
+
+  /// The process-wide pool used by parallel_for / parallel_reduce_sum,
+  /// created on first use with default_thread_count() threads.
+  static ThreadPool& global();
+
+  /// Replaces the global pool with one of `threads` threads (0 = default).
+  /// Test/bench knob: must not be called while parallel work is in flight.
+  static void set_global_thread_count(std::size_t threads);
+
+ private:
+  void worker_loop();
+  /// Claims and runs chunks while any remain. Expects `lock` held; returns
+  /// with it held.
+  void drain(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mutex_;
+  std::condition_variable task_cv_;  // workers: work available or stop
+  std::condition_variable done_cv_;  // caller: all chunks completed
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t num_chunks_ = 0;
+  std::size_t next_chunk_ = 0;
+  std::size_t completed_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(begin, end) over contiguous chunks covering [0, n), one chunk
+/// per global-pool thread. Runs inline (one chunk) when n < min_parallel or
+/// the pool has a single thread. Deterministic as described above.
+void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_parallel = 1);
+
+/// Sums body(begin, end) partials over contiguous chunks covering [0, n),
+/// combining them in ascending chunk order. At one thread (or n <
+/// min_parallel) this is exactly `body(0, n)` — byte-identical to the
+/// sequential accumulation; at a fixed thread count > 1 the chunked
+/// summation is bit-reproducible run-to-run.
+double parallel_reduce_sum(std::size_t n,
+                           const std::function<double(std::size_t, std::size_t)>& body,
+                           std::size_t min_parallel = 1);
+
+}  // namespace geored

@@ -1,0 +1,66 @@
+// Shared candidate × client estimated-latency matrix for the search
+// strategies (greedy, local search).
+//
+// One flat candidate-major buffer filled by the PointSet distance kernels:
+// row c holds the embedding distance from candidate c to every client, in
+// client order, with the same floating-point operation sequence as the
+// scalar `coords.distance_to(...)` double loop it replaces. Rows are
+// independent, so the fill parallelizes with per-row writes and is bitwise
+// identical at any thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/point_set.h"
+#include "common/thread_pool.h"
+#include "placement/types.h"
+
+namespace geored::place {
+
+struct LatencyMatrix {
+  std::size_t clients_per_row = 0;
+  std::vector<double> data;  // candidates × clients, candidate-major
+
+  const double* row(std::size_t c) const { return data.data() + c * clients_per_row; }
+};
+
+/// Scale gate: parallelize a loop whose iterations each cost `row_cost`
+/// scalar operations only once the total work clears the evaluator grain.
+inline std::size_t min_parallel_rows(std::size_t row_cost) {
+  constexpr std::size_t kMinParallelWork = 2048;
+  return std::max<std::size_t>(2, kMinParallelWork / std::max<std::size_t>(1, row_cost));
+}
+
+inline LatencyMatrix build_latency_matrix(const std::vector<CandidateInfo>& candidates,
+                                          const std::vector<ClientRecord>& clients) {
+  PointSet client_coords;
+  client_coords.reserve(clients.size());
+  for (const auto& client : clients) client_coords.push_back(client.coords);
+
+  LatencyMatrix matrix;
+  matrix.clients_per_row = clients.size();
+  matrix.data.resize(candidates.size() * clients.size());
+  parallel_for(
+      candidates.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+          client_coords.distance_row(candidates[c].coords,
+                                     matrix.data.data() + c * clients.size());
+        }
+      },
+      min_parallel_rows(clients.size()));
+  return matrix;
+}
+
+/// Per-client access weights as one contiguous vector.
+inline std::vector<double> access_weights(const std::vector<ClientRecord>& clients) {
+  std::vector<double> weights(clients.size());
+  for (std::size_t u = 0; u < clients.size(); ++u) {
+    weights[u] = static_cast<double>(clients[u].access_count);
+  }
+  return weights;
+}
+
+}  // namespace geored::place

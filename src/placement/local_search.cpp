@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 
 #include "common/ensure.h"
+#include "common/thread_pool.h"
+#include "placement/latency_matrix.h"
 #include "placement/online_clustering.h"
 #include "placement/random_placement.h"
 
@@ -30,53 +33,89 @@ Placement LocalSearchPlacement::place(const PlacementInput& input) const {
   // Precompute estimated latencies candidate x client once.
   const std::size_t n_cand = input.candidates.size();
   const std::size_t n_client = input.clients.size();
-  std::vector<std::vector<double>> latency(n_cand, std::vector<double>(n_client));
-  std::vector<double> weight(n_client);
-  for (std::size_t c = 0; c < n_cand; ++c) {
-    for (std::size_t u = 0; u < n_client; ++u) {
-      latency[c][u] = input.candidates[c].coords.distance_to(input.clients[u].coords);
-    }
-  }
-  for (std::size_t u = 0; u < n_client; ++u) {
-    weight[u] = static_cast<double>(input.clients[u].access_count);
-  }
-  const auto candidate_index = [&](topo::NodeId node) {
-    for (std::size_t c = 0; c < n_cand; ++c) {
-      if (input.candidates[c].node == node) return c;
-    }
-    throw InternalError("placement node missing from candidates");
-  };
+  const LatencyMatrix latency = build_latency_matrix(input.candidates, input.clients);
+  const std::vector<double> weight = access_weights(input.clients);
+
+  std::unordered_map<topo::NodeId, std::size_t> candidate_index;
+  candidate_index.reserve(n_cand);
+  for (std::size_t c = 0; c < n_cand; ++c) candidate_index.emplace(input.candidates[c].node, c);
 
   std::vector<std::size_t> chosen;
   chosen.reserve(placement.size());
   std::vector<bool> in_placement(n_cand, false);
   for (const auto node : placement) {
-    chosen.push_back(candidate_index(node));
+    const auto it = candidate_index.find(node);
+    if (it == candidate_index.end()) {
+      throw InternalError("placement node missing from candidates");
+    }
+    chosen.push_back(it->second);
     in_placement[chosen.back()] = true;
   }
+  const std::size_t slots = chosen.size();
 
-  const auto total_delay = [&](const std::vector<std::size_t>& members) {
-    double total = 0.0;
-    for (std::size_t u = 0; u < n_client; ++u) {
-      double best = std::numeric_limits<double>::infinity();
-      for (const auto c : members) best = std::min(best, latency[c][u]);
-      total += best * weight[u];
-    }
-    return total;
+  // Incremental objective state: each client's closest and second-closest
+  // chosen replica. Removing a slot then adding candidate c costs one pass:
+  //   base(u, slot) = (closest is slot) ? second-closest : closest
+  //   total(slot -> c) = sum_u min(base(u, slot), latency[c][u]) * w[u]
+  // Minima are exact in floating point, so these totals are bit-identical
+  // to re-scanning all k members — the classical local-search delta rule,
+  // O(clients) per swap instead of O(clients * k).
+  std::vector<double> best1(n_client), best2(n_client);
+  std::vector<std::size_t> best1_slot(n_client);
+  const auto recompute_best = [&] {
+    parallel_for(
+        n_client,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t u = begin; u < end; ++u) {
+            double b1 = std::numeric_limits<double>::infinity();
+            double b2 = std::numeric_limits<double>::infinity();
+            std::size_t s1 = 0;
+            for (std::size_t slot = 0; slot < slots; ++slot) {
+              const double d = latency.row(chosen[slot])[u];
+              if (d < b1) {
+                b2 = b1;
+                b1 = d;
+                s1 = slot;
+              } else if (d < b2) {
+                b2 = d;
+              }
+            }
+            best1[u] = b1;
+            best2[u] = b2;
+            best1_slot[u] = s1;
+          }
+        },
+        min_parallel_rows(slots));
   };
 
-  double current = total_delay(chosen);
+  recompute_best();
+  double current = 0.0;
+  for (std::size_t u = 0; u < n_client; ++u) current += best1[u] * weight[u];
+
+  std::vector<double> swap_totals(n_cand, std::numeric_limits<double>::infinity());
   for (std::size_t round = 0; round < config_.max_rounds; ++round) {
     double best_delta = 0.0;
     std::size_t best_slot = 0, best_replacement = 0;
     bool improved = false;
-    for (std::size_t slot = 0; slot < chosen.size(); ++slot) {
-      const std::size_t original = chosen[slot];
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      parallel_for(
+          n_cand,
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c) {
+              if (in_placement[c]) continue;
+              const double* row = latency.row(c);
+              double total = 0.0;
+              for (std::size_t u = 0; u < n_client; ++u) {
+                const double base = best1_slot[u] == slot ? best2[u] : best1[u];
+                total += std::min(base, row[u]) * weight[u];
+              }
+              swap_totals[c] = total;
+            }
+          },
+          min_parallel_rows(n_client));
       for (std::size_t c = 0; c < n_cand; ++c) {
         if (in_placement[c]) continue;
-        chosen[slot] = c;
-        const double candidate_total = total_delay(chosen);
-        const double delta = current - candidate_total;
+        const double delta = current - swap_totals[c];
         if (delta > best_delta + config_.tolerance * std::max(1.0, current)) {
           best_delta = delta;
           best_slot = slot;
@@ -84,13 +123,13 @@ Placement LocalSearchPlacement::place(const PlacementInput& input) const {
           improved = true;
         }
       }
-      chosen[slot] = original;
     }
     if (!improved) break;
     in_placement[chosen[best_slot]] = false;
     in_placement[best_replacement] = true;
     chosen[best_slot] = best_replacement;
     current -= best_delta;
+    recompute_best();
   }
 
   Placement result;

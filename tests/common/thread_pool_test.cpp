@@ -1,0 +1,144 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/random.h"
+
+namespace geored {
+namespace {
+
+/// Restores the global pool to its default size when a test exits.
+struct GlobalPoolGuard {
+  ~GlobalPoolGuard() { ThreadPool::set_global_thread_count(0); }
+};
+
+TEST(ThreadPool, DefaultThreadCountReadsEnvironment) {
+  ::setenv("GEORED_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3u);
+  ::setenv("GEORED_THREADS", "0", 1);  // clamped up to 1
+  EXPECT_EQ(ThreadPool::default_thread_count(), 1u);
+  ::setenv("GEORED_THREADS", "999999", 1);  // clamped down to 1024
+  EXPECT_EQ(ThreadPool::default_thread_count(), 1024u);
+  ::setenv("GEORED_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);  // falls back to hardware
+  ::unsetenv("GEORED_THREADS");
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, RunChunksRunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  constexpr std::size_t kChunks = 97;
+  std::vector<std::atomic<int>> hits(kChunks);
+  pool.run_chunks(kChunks, [&](std::size_t c) { hits[c].fetch_add(1); });
+  for (std::size_t c = 0; c < kChunks; ++c) EXPECT_EQ(hits[c].load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::size_t ran = 0;
+  pool.run_chunks(5, [&](std::size_t) { ++ran; });  // no workers: caller does all
+  EXPECT_EQ(ran, 5u);
+}
+
+TEST(ThreadPool, ExceptionIsRethrownAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_chunks(16,
+                               [&](std::size_t c) {
+                                 if (c == 7) throw std::runtime_error("chunk failure");
+                               }),
+               std::runtime_error);
+  // All chunks of a later task still run.
+  std::vector<std::atomic<int>> hits(8);
+  pool.run_chunks(8, [&](std::size_t c) { hits[c].fetch_add(1); });
+  for (std::size_t c = 0; c < 8; ++c) EXPECT_EQ(hits[c].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeWithoutOverlap) {
+  GlobalPoolGuard guard;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool::set_global_thread_count(threads);
+    for (const std::size_t n : {0u, 1u, 3u, 1000u}) {
+      std::vector<int> counts(n, 0);
+      parallel_for(n, [&](std::size_t begin, std::size_t end) {
+        ASSERT_LE(begin, end);
+        for (std::size_t i = begin; i < end; ++i) ++counts[i];
+      });
+      for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i], 1) << "i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, MinParallelGateForcesSingleChunk) {
+  GlobalPoolGuard guard;
+  ThreadPool::set_global_thread_count(4);
+  std::atomic<int> calls{0};
+  parallel_for(
+      10,
+      [&](std::size_t begin, std::size_t end) {
+        calls.fetch_add(1);
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 10u);
+      },
+      /*min_parallel=*/100);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ReduceSumMatchesSequentialExactlyAtOneThread) {
+  GlobalPoolGuard guard;
+  ThreadPool::set_global_thread_count(1);
+  Rng rng(101);
+  std::vector<double> values(5000);
+  for (auto& v : values) v = rng.uniform(-1.0, 1.0);
+  double sequential = 0.0;
+  for (const double v : values) sequential += v;
+  const double reduced = parallel_reduce_sum(values.size(), [&](std::size_t begin,
+                                                                std::size_t end) {
+    double partial = 0.0;
+    for (std::size_t i = begin; i < end; ++i) partial += values[i];
+    return partial;
+  });
+  EXPECT_EQ(reduced, sequential);  // byte-identical, not approximately equal
+}
+
+TEST(ThreadPool, ReduceSumReproducibleAtFixedThreadCount) {
+  GlobalPoolGuard guard;
+  ThreadPool::set_global_thread_count(4);
+  Rng rng(202);
+  std::vector<double> values(5000);
+  for (auto& v : values) v = rng.uniform(-1.0, 1.0);
+  const auto run = [&] {
+    return parallel_reduce_sum(values.size(), [&](std::size_t begin, std::size_t end) {
+      double partial = 0.0;
+      for (std::size_t i = begin; i < end; ++i) partial += values[i];
+      return partial;
+    });
+  };
+  const double first = run();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(run(), first);  // bit-reproducible
+  // And within accumulation noise of the sequential order.
+  double sequential = 0.0;
+  for (const double v : values) sequential += v;
+  EXPECT_NEAR(first, sequential, 1e-9 * (std::abs(sequential) + 1.0));
+}
+
+TEST(ThreadPool, ReduceSumCountsExactlyUnderContention) {
+  GlobalPoolGuard guard;
+  ThreadPool::set_global_thread_count(4);
+  constexpr std::size_t kN = 100000;
+  const double total = parallel_reduce_sum(kN, [](std::size_t begin, std::size_t end) {
+    return static_cast<double>(end - begin);
+  });
+  EXPECT_EQ(total, static_cast<double>(kN));
+}
+
+}  // namespace
+}  // namespace geored
