@@ -17,7 +17,13 @@ PointSet PointSet::from_points(const std::vector<Point>& points) {
 }
 
 void PointSet::push_back(const Point& p) {
-  if (n_ == 0 && dim_ == 0) dim_ = p.dim();
+  if (n_ == 0 && dim_ == 0) {
+    dim_ = p.dim();
+    if (pending_reserve_rows_ > 0 && dim_ > 0) {
+      data_.reserve(pending_reserve_rows_ * dim_);
+    }
+    pending_reserve_rows_ = 0;
+  }
   GEORED_ENSURE(p.dim() == dim_, "PointSet rows must share one dimension");
   data_.insert(data_.end(), p.values().begin(), p.values().end());
   ++n_;

@@ -41,7 +41,16 @@ class PointSet {
   std::size_t dim() const { return dim_; }
   bool empty() const { return n_ == 0; }
 
-  void reserve(std::size_t n) { data_.reserve(n * dim_); }
+  /// Pre-allocates storage for `n` rows. On a set whose dimension is not
+  /// yet known (default construction, nothing pushed) the request is
+  /// remembered and applied when the first push_back adopts a dimension.
+  void reserve(std::size_t n) {
+    if (dim_ == 0) {
+      pending_reserve_rows_ = std::max(pending_reserve_rows_, n);
+    } else {
+      data_.reserve(n * dim_);
+    }
+  }
   void clear() {
     data_.clear();
     n_ = 0;
@@ -96,6 +105,7 @@ class PointSet {
  private:
   std::size_t dim_ = 0;
   std::size_t n_ = 0;         // explicit so zero-dimension points still count
+  std::size_t pending_reserve_rows_ = 0;  // reserve() before dim_ is adopted
   std::vector<double> data_;  // size() * dim_ row-major components
 };
 

@@ -90,13 +90,21 @@ std::size_t ThreadPool::default_thread_count() {
   if (const char* env = std::getenv("GEORED_THREADS")) {
     try {
       const long long parsed = std::stoll(env);
-      if (parsed >= 1) return static_cast<std::size_t>(parsed > 1024 ? 1024 : parsed);
+      // Parsed values clamp to [1, 1024]; only unparsable strings fall
+      // through to the hardware default.
+      if (parsed < 1) return 1;
+      return static_cast<std::size_t>(parsed > 1024 ? 1024 : parsed);
     } catch (const std::exception&) {
       // Unparsable values fall through to the hardware default.
     }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+bool ThreadPool::idle() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return task_ == nullptr;
 }
 
 ThreadPool& ThreadPool::global() {
@@ -107,6 +115,12 @@ ThreadPool& ThreadPool::global() {
 
 void ThreadPool::set_global_thread_count(std::size_t threads) {
   const std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+  if (g_global_pool) {
+    // A long-lived reference handed out by global() would dangle if the old
+    // pool were destroyed mid-task; fail loudly instead.
+    GEORED_CHECK(g_global_pool->idle(),
+                 "set_global_thread_count while parallel work is in flight");
+  }
   g_global_pool = std::make_unique<ThreadPool>(threads);
 }
 

@@ -45,6 +45,9 @@ class ThreadPool {
   /// Total threads that execute work, including the caller of run_chunks.
   std::size_t thread_count() const { return workers_.size() + 1; }
 
+  /// True when no run_chunks task is in flight on this pool.
+  bool idle();
+
   /// Runs chunk_fn(c) for every c in [0, n) across the pool; the calling
   /// thread participates. Blocks until all chunks finish. If any chunk
   /// throws, the first exception (in completion order) is rethrown here
@@ -60,7 +63,9 @@ class ThreadPool {
   static ThreadPool& global();
 
   /// Replaces the global pool with one of `threads` threads (0 = default).
-  /// Test/bench knob: must not be called while parallel work is in flight.
+  /// Test/bench knob: must not be called while parallel work is in flight
+  /// (enforced — replacing a busy pool throws InternalError rather than
+  /// destroying a pool that callers still hold a reference to).
   static void set_global_thread_count(std::size_t threads);
 
  private:

@@ -76,6 +76,22 @@ TEST(PointSet, BasicRoundTrip) {
   EXPECT_EQ(set.point(0), (Point{3.0, 4.0}));
 }
 
+TEST(PointSet, ReserveBeforeDimensionAdoptionPreallocates) {
+  // reserve() before the first push_back (dimension still unknown) must be
+  // honored once the dimension is adopted: no reallocation — and therefore a
+  // stable row pointer — while pushing up to the reserved row count.
+  constexpr std::size_t kRows = 64;
+  PointSet set;
+  set.reserve(kRows);
+  set.push_back(Point{1.0, 2.0, 3.0});
+  const double* first_row = set.row(0);
+  for (std::size_t i = 1; i < kRows; ++i) {
+    set.push_back(Point{static_cast<double>(i), 0.0, 0.0});
+    EXPECT_EQ(set.row(0), first_row) << "reallocated at row " << i;
+  }
+  EXPECT_EQ(set.size(), kRows);
+}
+
 TEST(PointSet, FromPointsMatchesPushBack) {
   Rng rng(7);
   const auto points = random_points(rng, 17, 3);

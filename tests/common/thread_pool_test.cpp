@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/ensure.h"
 #include "common/random.h"
 
 namespace geored {
@@ -23,6 +24,8 @@ TEST(ThreadPool, DefaultThreadCountReadsEnvironment) {
   ::setenv("GEORED_THREADS", "3", 1);
   EXPECT_EQ(ThreadPool::default_thread_count(), 3u);
   ::setenv("GEORED_THREADS", "0", 1);  // clamped up to 1
+  EXPECT_EQ(ThreadPool::default_thread_count(), 1u);
+  ::setenv("GEORED_THREADS", "-4", 1);  // clamped up to 1
   EXPECT_EQ(ThreadPool::default_thread_count(), 1u);
   ::setenv("GEORED_THREADS", "999999", 1);  // clamped down to 1024
   EXPECT_EQ(ThreadPool::default_thread_count(), 1024u);
@@ -60,6 +63,16 @@ TEST(ThreadPool, ExceptionIsRethrownAndPoolStaysUsable) {
   std::vector<std::atomic<int>> hits(8);
   pool.run_chunks(8, [&](std::size_t c) { hits[c].fetch_add(1); });
   for (std::size_t c = 0; c < 8; ++c) EXPECT_EQ(hits[c].load(), 1);
+}
+
+TEST(ThreadPool, ReplacingBusyGlobalPoolFailsLoudly) {
+  GlobalPoolGuard guard;
+  ThreadPool::set_global_thread_count(2);
+  // Swapping the global pool out from under an in-flight task must throw
+  // (use-after-free otherwise); the task's exception surfaces to the caller.
+  EXPECT_THROW(ThreadPool::global().run_chunks(
+                   8, [](std::size_t) { ThreadPool::set_global_thread_count(4); }),
+               InternalError);
 }
 
 TEST(ThreadPool, ParallelForCoversRangeWithoutOverlap) {
