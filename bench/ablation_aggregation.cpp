@@ -6,6 +6,11 @@
 // aggregation tree bounds its inbound bandwidth at the price of one extra
 // network hop. This harness sweeps the number of summary sources and
 // reports root bandwidth, total bandwidth and collection latency for both.
+//
+// This harness deliberately drives the aggregation substrate (plan/run)
+// below the pipeline's HierarchicalCollector, which wraps exactly this path:
+// the collector interface reports only root-inbound bytes, while the
+// ablation also needs total bytes, latency and aggregator counts.
 #include <cstdio>
 
 #include "bench_util.h"

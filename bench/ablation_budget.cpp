@@ -32,7 +32,7 @@ std::vector<double> per_access_delay_curve(const core::Environment& env,
     input.clients = clients;
     input.topology = &env.topology();
     input.seed = 99;
-    const auto placement = place::make_strategy(place::StrategyKind::kOptimal)->place(input);
+    const auto placement = place::make_strategy("optimal")->place(input);
     curve.push_back(place::true_average_delay(env.topology(), placement, clients));
   }
   return curve;

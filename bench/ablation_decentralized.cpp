@@ -13,6 +13,7 @@
 #include "common/serialize.h"
 #include "core/decentralized.h"
 #include "netcoord/embedding.h"
+#include "placement/strategy.h"
 #include "topology/planetlab_model.h"
 
 using namespace geored;
@@ -66,8 +67,10 @@ int main() {
 
     sim::Simulator simulator;
     sim::Network network(simulator, topology);
+    const auto strategy = place::make_strategy("online");
     const auto result = core::run_decentralized_epoch(simulator, network, candidates,
-                                                      summaries, 3, /*epoch_seed=*/k);
+                                                      summaries, 3, /*epoch_seed=*/k,
+                                                      *strategy);
     all_agree &= result.agreement;
     std::printf("%-6zu %14llu %16llu %16.1f %18.1f %12s\n", k,
                 static_cast<unsigned long long>(central_bytes),

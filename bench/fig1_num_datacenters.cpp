@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "core/evaluation.h"
+#include "placement/strategy.h"
 
 using namespace geored;
 
@@ -25,9 +26,10 @@ int main() {
   std::printf("embedding: median abs err %.1f ms, median rel err %.1f%%\n\n",
               quality.absolute_error_ms.p50, 100.0 * quality.relative_error.p50);
 
-  const std::vector<place::StrategyKind> series{
-      place::StrategyKind::kRandom, place::StrategyKind::kOfflineKMeans,
-      place::StrategyKind::kOnlineClustering, place::StrategyKind::kOptimal};
+  std::vector<place::StrategyKind> series;
+  for (const char* name : {"random", "offline_kmeans", "online", "optimal"}) {
+    series.push_back(place::strategy_kind(name));
+  }
   bench::print_row_header("num data centers",
                           {"random", "offline k-means", "online", "optimal"});
 
@@ -46,8 +48,8 @@ int main() {
     for (const auto kind : series) row.push_back(result.mean_of(kind));
     bench::print_row(static_cast<double>(dcs), row);
 
-    const double online = result.mean_of(place::StrategyKind::kOnlineClustering);
-    const double optimal = result.mean_of(place::StrategyKind::kOptimal);
+    const double online = result.mean_of(place::strategy_kind("online"));
+    const double optimal = result.mean_of(place::strategy_kind("optimal"));
     if (dcs == dc_counts.front()) {
       first_online = online;
       first_optimal = optimal;
@@ -57,7 +59,7 @@ int main() {
       last_optimal = optimal;
     }
     if (dcs == 20) {
-      random_at_20 = result.mean_of(place::StrategyKind::kRandom);
+      random_at_20 = result.mean_of(place::strategy_kind("random"));
       online_at_20 = online;
       optimal_at_20 = optimal;
     }

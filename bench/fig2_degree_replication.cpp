@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "core/evaluation.h"
+#include "placement/strategy.h"
 
 using namespace geored;
 
@@ -22,9 +23,10 @@ int main() {
 
   core::Environment env(topo::PlanetLabModelConfig{}, /*topology_seed=*/42,
                         core::CoordSystem::kRnp, coord::GossipConfig{});
-  const std::vector<place::StrategyKind> series{
-      place::StrategyKind::kRandom, place::StrategyKind::kOfflineKMeans,
-      place::StrategyKind::kOnlineClustering, place::StrategyKind::kOptimal};
+  std::vector<place::StrategyKind> series;
+  for (const char* name : {"random", "offline_kmeans", "online", "optimal"}) {
+    series.push_back(place::strategy_kind(name));
+  }
   bench::print_row_header("num replicas (k)",
                           {"random", "offline k-means", "online", "optimal"});
 
@@ -39,9 +41,9 @@ int main() {
     std::vector<double> row;
     for (const auto kind : series) row.push_back(result.mean_of(kind));
     bench::print_row(static_cast<double>(k), row);
-    random_by_k.push_back(result.mean_of(place::StrategyKind::kRandom));
-    online_by_k.push_back(result.mean_of(place::StrategyKind::kOnlineClustering));
-    optimal_by_k.push_back(result.mean_of(place::StrategyKind::kOptimal));
+    random_by_k.push_back(result.mean_of(place::strategy_kind("random")));
+    online_by_k.push_back(result.mean_of(place::strategy_kind("online")));
+    optimal_by_k.push_back(result.mean_of(place::strategy_kind("optimal")));
   }
 
   std::printf("\npaper-shape checks:\n");

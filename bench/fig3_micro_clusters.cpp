@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "core/evaluation.h"
+#include "placement/strategy.h"
 
 using namespace geored;
 
@@ -39,9 +40,9 @@ int main() {
       config.k = k;
       config.micro_clusters = micro_budgets[mi];
       config.runs = 30;
-      config.strategies = {place::StrategyKind::kOnlineClustering};
+      config.strategies = {place::strategy_kind("online")};
       const auto result = run_experiment(env, config);
-      const double mean = result.mean_of(place::StrategyKind::kOnlineClustering);
+      const double mean = result.mean_of(place::strategy_kind("online"));
       row.push_back(mean);
       delay[mi].push_back(mean);
     }

@@ -1,0 +1,80 @@
+// Multi-group fleet: many object groups sharing one replica budget.
+//
+// A store does not place one object — it places thousands of object groups,
+// each with its own access population. This example builds a FleetManager
+// over eight groups with very different popularity (Zipf demand) and
+// geography, lets it run placement epochs for all groups in parallel on the
+// deterministic thread pool, and watches the replica-budget allocator move
+// replicas from cold groups to hot, spread-out ones.
+//
+// Build & run:  ./build/examples/multi_group_fleet
+#include <algorithm>
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/fleet_manager.h"
+#include "netcoord/embedding.h"
+#include "topology/planetlab_model.h"
+
+using namespace geored;
+
+int main() {
+  const auto topology = topo::generate_planetlab_like(topo::PlanetLabModelConfig{}, 42);
+  const auto coords =
+      coord::run_rnp(topology, coord::RnpConfig{}, coord::GossipConfig{}, /*seed=*/7);
+
+  std::vector<place::CandidateInfo> candidates;
+  for (topo::NodeId dc = 0; dc < 20; ++dc) {
+    candidates.push_back({dc, coords[dc].position,
+                          std::numeric_limits<double>::infinity()});
+  }
+
+  core::FleetConfig config;
+  config.groups = 8;
+  config.manager.summarizer.max_clusters = 4;
+  config.manager.migration.min_relative_gain = 0.05;
+  // 20 replicas to divide across 8 groups, each holding 1..5 of them. The
+  // fleet owns the degrees from here: the allocator re-divides the budget
+  // after every epoch round from measured delay-by-degree curves.
+  config.replica_budget = 20;
+  config.min_degree = 1;
+  config.max_degree = 5;
+  core::FleetManager fleet(candidates, config, /*seed=*/1);
+
+  std::printf("fleet: %zu groups, budget %zu replicas (degree %zu..%zu)\n",
+              fleet.group_count(), config.replica_budget, config.min_degree,
+              config.max_degree);
+
+  // Group g's clients live in a slice of the world; group popularity is
+  // Zipf-like (group 0 the hottest). Every client access routes through the
+  // fleet by object id, so summaries land at the right group's replicas.
+  Rng rng(9);
+  for (int day = 0; day < 4; ++day) {
+    for (std::uint64_t object = 0; object < 4000; ++object) {
+      const std::size_t g = fleet.group_of(object);
+      const int accesses = static_cast<int>(12 / (g + 1));  // hot groups dominate
+      const topo::NodeId first = static_cast<topo::NodeId>(20 + 25 * g);
+      const std::uint64_t span =
+          std::min<std::uint64_t>(25 + 100 * g, topology.size() - first);
+      for (int i = 0; i < accesses; ++i) {
+        const auto client = static_cast<topo::NodeId>(first + rng.below(span));
+        fleet.serve(object, coords[client].position);
+      }
+    }
+
+    const auto report = fleet.run_epochs();
+    std::printf("day %d: %llu accesses, %zu/%zu groups migrated, degrees:", day,
+                static_cast<unsigned long long>(report.total_accesses),
+                report.groups_migrated, fleet.group_count());
+    for (const auto degree : report.allocation->degree_per_group) {
+      std::printf(" %zu", degree);
+    }
+    std::printf("  (hot -> cold)\n");
+  }
+
+  std::printf(
+      "\nThe allocator gives the hot, geographically spread groups extra\n"
+      "replicas and pins the cold tail at the minimum degree — the fleet-\n"
+      "scale version of the paper's demand-adaptive degree (Section III-C).\n");
+  return 0;
+}

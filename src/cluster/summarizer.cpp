@@ -100,9 +100,19 @@ void MicroClusterSummarizer::rebuild_centroids() {
   for (const auto& cluster : clusters_) centroids_.push_back(cluster.centroid());
 }
 
+void write_clusters(ByteWriter& writer, const std::vector<MicroCluster>& clusters) {
+  writer.write_u32(static_cast<std::uint32_t>(clusters.size()));
+  for (const auto& cluster : clusters) cluster.serialize(writer);
+}
+
+std::size_t serialized_size(const std::vector<MicroCluster>& clusters) {
+  ByteWriter writer;
+  write_clusters(writer, clusters);
+  return writer.size();
+}
+
 void MicroClusterSummarizer::serialize(ByteWriter& writer) const {
-  writer.write_u32(static_cast<std::uint32_t>(clusters_.size()));
-  for (const auto& cluster : clusters_) cluster.serialize(writer);
+  write_clusters(writer, clusters_);
 }
 
 std::vector<MicroCluster> MicroClusterSummarizer::deserialize_clusters(ByteReader& reader) {

@@ -18,6 +18,14 @@
 
 namespace geored::cluster {
 
+/// Serializes a bare micro-cluster set in the summarizer wire format (u32
+/// count + clusters) — the per-source message of Algorithm 1. Shared by
+/// every collection path so the formats cannot drift apart.
+void write_clusters(ByteWriter& writer, const std::vector<MicroCluster>& clusters);
+
+/// Wire size of write_clusters(clusters) in bytes.
+std::size_t serialized_size(const std::vector<MicroCluster>& clusters);
+
 struct SummarizerConfig {
   /// Maximum number of micro-clusters retained (the paper's m).
   std::size_t max_clusters = 4;

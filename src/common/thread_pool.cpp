@@ -13,6 +13,10 @@ namespace {
 std::mutex g_global_pool_mutex;
 std::unique_ptr<ThreadPool> g_global_pool;  // guarded by g_global_pool_mutex
 
+// Set while this thread runs a chunk body, so nested data-parallel calls
+// can detect they are already inside parallel work and run inline.
+thread_local bool t_in_chunk = false;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -65,11 +69,14 @@ void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
     const std::function<void(std::size_t)>* task = task_;
     lock.unlock();
     std::exception_ptr thrown;
+    const bool was_in_chunk = t_in_chunk;
+    t_in_chunk = true;
     try {
       (*task)(chunk);
     } catch (...) {
       thrown = std::current_exception();
     }
+    t_in_chunk = was_in_chunk;
     lock.lock();
     if (thrown && !error_) error_ = thrown;
     ++completed_;
@@ -107,6 +114,8 @@ bool ThreadPool::idle() {
   return task_ == nullptr;
 }
 
+bool ThreadPool::in_parallel_chunk() { return t_in_chunk; }
+
 ThreadPool& ThreadPool::global() {
   const std::lock_guard<std::mutex> lock(g_global_pool_mutex);
   if (!g_global_pool) g_global_pool = std::make_unique<ThreadPool>();
@@ -128,7 +137,9 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size
                   std::size_t min_parallel) {
   GEORED_ENSURE(body, "parallel_for requires a callable body");
   if (n == 0) return;
-  if (n < min_parallel) {
+  // Nested inside a chunk the pool is already busy: run sequentially, which
+  // is byte-identical to the single-chunk path.
+  if (n < min_parallel || ThreadPool::in_parallel_chunk()) {
     body(0, n);
     return;
   }
@@ -150,7 +161,8 @@ double parallel_reduce_sum(std::size_t n,
                            std::size_t min_parallel) {
   GEORED_ENSURE(body, "parallel_reduce_sum requires a callable body");
   if (n == 0) return 0.0;
-  if (n < min_parallel) return body(0, n);
+  // See parallel_for: nested calls run inline, matching the sequential sum.
+  if (n < min_parallel || ThreadPool::in_parallel_chunk()) return body(0, n);
   ThreadPool& pool = ThreadPool::global();
   const std::size_t chunks = pool.thread_count();
   if (chunks == 1) return body(0, n);

@@ -17,8 +17,14 @@
 //     With one thread the pool spawns no workers and everything runs inline
 //     on the caller.
 //
-// Nested parallelism is not supported: a chunk body must not itself call
-// parallel_for / parallel_reduce_sum on the same pool.
+// Nested parallelism runs inline: when a chunk body itself calls
+// parallel_for / parallel_reduce_sum, the nested call executes sequentially
+// on the calling thread (exactly the single-chunk path), because the pool's
+// threads are already committed to the outer task. This keeps outer-level
+// parallelism (e.g. FleetManager running one group per task) deadlock-free
+// and bit-identical to the fully sequential execution: the inner work is a
+// single in-order chunk in both cases. Directly calling run_chunks from
+// inside a chunk remains an error.
 #pragma once
 
 #include <condition_variable>
@@ -57,6 +63,11 @@ class ThreadPool {
   /// GEORED_THREADS environment override if set (clamped to [1, 1024]),
   /// otherwise std::thread::hardware_concurrency() (at least 1).
   static std::size_t default_thread_count();
+
+  /// True while the calling thread is executing a run_chunks chunk (on any
+  /// pool). parallel_for / parallel_reduce_sum consult this to run nested
+  /// parallelism inline instead of deadlocking on the busy pool.
+  static bool in_parallel_chunk();
 
   /// The process-wide pool used by parallel_for / parallel_reduce_sum,
   /// created on first use with default_thread_count() threads.

@@ -8,19 +8,11 @@
 #include "cluster/kmeans.h"
 #include "common/ensure.h"
 #include "common/random.h"
-#include "common/serialize.h"
 #include "placement/assign.h"
 
 namespace geored::core {
 
 namespace {
-
-std::size_t serialized_bytes(const std::vector<cluster::MicroCluster>& clusters) {
-  ByteWriter writer;
-  writer.write_u32(static_cast<std::uint32_t>(clusters.size()));
-  for (const auto& micro : clusters) micro.serialize(writer);
-  return writer.size();
-}
 
 const place::CandidateInfo& info_of(const std::vector<place::CandidateInfo>& candidates,
                                     topo::NodeId node) {
@@ -140,7 +132,7 @@ AggregationResult run_aggregation(sim::Simulator& simulator, sim::Network& netwo
                                 root_bytes, completion, root](topo::NodeId aggregator) {
     auto& state = states->at(aggregator);
     const auto clusters = state.merger.clusters();
-    const std::size_t bytes = serialized_bytes(clusters);
+    const std::size_t bytes = cluster::serialized_size(clusters);
     *root_bytes += bytes;
     network.send(aggregator, root, bytes, sim::TrafficClass::kSummary,
                  [states, pending_root, merged, completion, clusters, &simulator] {
@@ -152,7 +144,7 @@ AggregationResult run_aggregation(sim::Simulator& simulator, sim::Network& netwo
   // Phase 1: every source ships its summary to its aggregator.
   for (const auto& source : sources) {
     const topo::NodeId aggregator = plan.parent.at(source.node);
-    const std::size_t bytes = serialized_bytes(source.clusters);
+    const std::size_t bytes = cluster::serialized_size(source.clusters);
     const auto clusters = source.clusters;
     network.send(source.node, aggregator, bytes, sim::TrafficClass::kSummary,
                  [states, aggregator, clusters, forward_to_root] {
@@ -184,7 +176,7 @@ AggregationResult run_flat_collection(sim::Simulator& simulator, sim::Network& n
   auto completion = std::make_shared<double>(0.0);
   std::uint64_t root_bytes = 0;
   for (const auto& source : sources) {
-    const std::size_t bytes = serialized_bytes(source.clusters);
+    const std::size_t bytes = cluster::serialized_size(source.clusters);
     root_bytes += bytes;
     const auto clusters = source.clusters;
     network.send(source.node, root, bytes, sim::TrafficClass::kSummary,

@@ -2,8 +2,8 @@
 
 #include <memory>
 
+#include "cluster/summarizer.h"
 #include "common/ensure.h"
-#include "common/serialize.h"
 
 namespace geored::core {
 
@@ -11,8 +11,7 @@ DecentralizedEpochResult run_decentralized_epoch(
     sim::Simulator& simulator, sim::Network& network,
     const std::vector<place::CandidateInfo>& candidates,
     const std::map<topo::NodeId, std::vector<cluster::MicroCluster>>& replica_summaries,
-    std::size_t k, std::uint64_t epoch_seed,
-    const place::OnlineClusteringConfig& strategy_config) {
+    std::size_t k, std::uint64_t epoch_seed, const place::PlacementStrategy& strategy) {
   GEORED_ENSURE(!candidates.empty(), "decentralized epoch needs candidates");
   GEORED_ENSURE(!replica_summaries.empty(), "decentralized epoch needs replicas");
 
@@ -35,7 +34,7 @@ DecentralizedEpochResult run_decentralized_epoch(
   auto completion = std::make_shared<double>(0.0);
   const std::size_t expected = replica_summaries.size();
 
-  const auto decide = [candidates, k, epoch_seed, strategy_config, &simulator, pending,
+  const auto decide = [candidates, k, epoch_seed, &strategy, &simulator, pending,
                        completion](ReplicaState& state) {
     // Deterministic flatten: summaries in source-id order (std::map order).
     place::PlacementInput input;
@@ -45,18 +44,14 @@ DecentralizedEpochResult run_decentralized_epoch(
     for (const auto& [source, clusters] : state.inbox) {
       for (const auto& micro : clusters) input.summaries.push_back(micro);
     }
-    state.decision =
-        place::OnlineClusteringPlacement(strategy_config).place(input);
+    state.decision = strategy.place(input);
     state.decided = true;
     if (--*pending == 0) *completion = simulator.now();
   };
 
   // Broadcast every replica's summary to its peers.
   for (const auto& [from, clusters] : replica_summaries) {
-    ByteWriter writer;
-    writer.write_u32(static_cast<std::uint32_t>(clusters.size()));
-    for (const auto& micro : clusters) micro.serialize(writer);
-    const std::size_t bytes = writer.size();
+    const std::size_t bytes = cluster::serialized_size(clusters);
     for (const auto& [to, unused] : replica_summaries) {
       if (to == from) continue;
       const auto payload = clusters;

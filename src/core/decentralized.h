@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "cluster/microcluster.h"
-#include "placement/online_clustering.h"
+#include "placement/strategy.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -34,12 +34,14 @@ struct DecentralizedEpochResult {
 
 /// Runs one decentralized epoch over the simulated network.
 /// `replica_summaries` maps each current replica holder to its
-/// micro-clusters. Deterministic in `epoch_seed`.
+/// micro-clusters; `strategy` is the shared per-replica decision rule
+/// (identical inputs + a deterministic strategy is what makes agreement
+/// work, so the strategy must honor the PlacementStrategy determinism
+/// contract). Deterministic in `epoch_seed`.
 DecentralizedEpochResult run_decentralized_epoch(
     sim::Simulator& simulator, sim::Network& network,
     const std::vector<place::CandidateInfo>& candidates,
     const std::map<topo::NodeId, std::vector<cluster::MicroCluster>>& replica_summaries,
-    std::size_t k, std::uint64_t epoch_seed,
-    const place::OnlineClusteringConfig& strategy_config = {});
+    std::size_t k, std::uint64_t epoch_seed, const place::PlacementStrategy& strategy);
 
 }  // namespace geored::core

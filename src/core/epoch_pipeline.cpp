@@ -1,0 +1,175 @@
+#include "core/epoch_pipeline.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/ensure.h"
+#include "common/serialize.h"
+#include "core/decentralized.h"
+
+namespace geored::core {
+
+namespace {
+
+const place::CandidateInfo& find_candidate(const std::vector<place::CandidateInfo>& candidates,
+                                           topo::NodeId node) {
+  const auto it = std::find_if(candidates.begin(), candidates.end(),
+                               [node](const place::CandidateInfo& c) { return c.node == node; });
+  GEORED_ENSURE(it != candidates.end(), "node is not a candidate data center");
+  return *it;
+}
+
+}  // namespace
+
+CollectedSummaries DirectCollector::collect(const std::vector<SummarySource>& sources,
+                                            const CollectionContext& context) {
+  (void)context;
+  CollectedSummaries collected;
+  ByteWriter writer;
+  for (const auto& source : sources) {
+    cluster::write_clusters(writer, source.clusters);
+    for (const auto& micro : source.clusters) collected.summaries.push_back(micro);
+  }
+  collected.summary_bytes = writer.size();
+  return collected;
+}
+
+HierarchicalCollector::HierarchicalCollector(sim::Simulator& simulator, sim::Network& network,
+                                             topo::NodeId root, AggregationConfig config)
+    : simulator_(simulator), network_(network), root_(root), config_(config) {
+  GEORED_ENSURE(config_.max_clusters_per_aggregator >= 1,
+                "aggregators need at least one micro-cluster of budget");
+}
+
+CollectedSummaries HierarchicalCollector::collect(const std::vector<SummarySource>& sources,
+                                                  const CollectionContext& context) {
+  GEORED_ENSURE(!sources.empty(), "hierarchical collection needs at least one source");
+  // A fresh tree per epoch: sources move with the placement, so yesterday's
+  // aggregator assignment may be arbitrarily bad today.
+  const AggregationPlan plan =
+      plan_aggregation(context.candidates, sources, config_, context.epoch_seed);
+  AggregationResult result = run_aggregation(simulator_, network_, plan, sources, root_, config_);
+  CollectedSummaries collected;
+  collected.summaries = std::move(result.merged);
+  collected.summary_bytes = static_cast<std::size_t>(result.bytes_into_root);
+  return collected;
+}
+
+DecentralizedCollector::DecentralizedCollector(
+    sim::Simulator& simulator, sim::Network& network,
+    std::shared_ptr<const place::PlacementStrategy> strategy)
+    : simulator_(simulator), network_(network), strategy_(std::move(strategy)) {
+  if (!strategy_) strategy_ = std::make_shared<place::OnlineClusteringPlacement>();
+}
+
+CollectedSummaries DecentralizedCollector::collect(const std::vector<SummarySource>& sources,
+                                                   const CollectionContext& context) {
+  GEORED_ENSURE(!sources.empty(), "decentralized collection needs at least one source");
+  std::map<topo::NodeId, std::vector<cluster::MicroCluster>> replica_summaries;
+  for (const auto& source : sources) {
+    auto& clusters = replica_summaries[source.node];
+    clusters.insert(clusters.end(), source.clusters.begin(), source.clusters.end());
+  }
+  const DecentralizedEpochResult result =
+      run_decentralized_epoch(simulator_, network_, context.candidates, replica_summaries,
+                              context.k, context.epoch_seed, *strategy_);
+  GEORED_CHECK(result.agreement,
+               "deterministic replicas diverged on identical summaries and seed");
+  CollectedSummaries collected;
+  // Flatten in source-id order — the exact input every replica decided on.
+  for (const auto& [source, clusters] : replica_summaries) {
+    for (const auto& micro : clusters) collected.summaries.push_back(micro);
+  }
+  collected.summary_bytes = static_cast<std::size_t>(result.summary_bytes);
+  collected.agreed_proposal = result.proposal;
+  return collected;
+}
+
+ClusteringProposer::ClusteringProposer(place::OnlineClusteringConfig config, bool warm_start)
+    : config_(std::move(config)), warm_start_(warm_start) {}
+
+place::Placement ClusteringProposer::propose(const place::PlacementInput& input) {
+  place::OnlineClusteringConfig config = config_;
+  if (warm_start_) config.warm_start_centroids = last_macro_centroids_;
+  const place::OnlineClusteringPlacement strategy(config);
+  place::OnlineClusteringDetails details = strategy.place_detailed(input);
+  // The cache always tracks the latest macro-clustering, even when warm
+  // starts are disabled — checkpoints then capture it either way.
+  last_macro_centroids_ = std::move(details.macro_centroids);
+  return std::move(details.placement);
+}
+
+StrategyProposer::StrategyProposer(std::unique_ptr<place::PlacementStrategy> strategy)
+    : strategy_(std::move(strategy)) {
+  GEORED_ENSURE(strategy_ != nullptr, "StrategyProposer needs a strategy");
+}
+
+place::Placement StrategyProposer::propose(const place::PlacementInput& input) {
+  return strategy_->place(input);
+}
+
+MigrationDecision PolicyGate::evaluate(double old_delay_ms, double new_delay_ms,
+                                       std::size_t replicas_moved) const {
+  return decide_migration(policy_, old_delay_ms, new_delay_ms, replicas_moved);
+}
+
+void NearestRedistributionAdopter::adopt(
+    const place::Placement& next, const std::vector<cluster::MicroCluster>& summaries,
+    const std::vector<place::CandidateInfo>& candidates,
+    const cluster::SummarizerConfig& summarizer_config,
+    std::map<topo::NodeId, cluster::MicroClusterSummarizer>& summarizers) {
+  GEORED_ENSURE(!next.empty(), "cannot adopt an empty placement");
+  // Rebuild the per-replica summarizers, handing each existing micro-cluster
+  // to the new replica closest to its centroid so usage knowledge survives
+  // the move.
+  std::map<topo::NodeId, cluster::MicroClusterSummarizer> fresh;
+  for (const auto node : next) {
+    fresh.emplace(node, cluster::MicroClusterSummarizer(summarizer_config));
+  }
+  summarizers = std::move(fresh);
+  for (const auto& micro : summaries) {
+    if (micro.count() == 0) continue;
+    const Point centroid = micro.centroid();
+    topo::NodeId best = next.front();
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (const auto node : next) {
+      const double dist = centroid.distance_squared_to(find_candidate(candidates, node).coords);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = node;
+      }
+    }
+    summarizers.at(best).merge_cluster(micro);
+  }
+}
+
+void NearestRedistributionAdopter::retain(
+    std::map<topo::NodeId, cluster::MicroClusterSummarizer>& summarizers) {
+  // Age the retained summaries so stale populations fade (recency).
+  for (auto& [node, summarizer] : summarizers) summarizer.decay();
+}
+
+std::unique_ptr<SummaryCollector> make_collector(const std::string& name,
+                                                 const CollectorConfig& config) {
+  const std::vector<std::string> names = collector_names();
+  GEORED_ENSURE(std::find(names.begin(), names.end(), name) != names.end(),
+                "unknown collector '" + name + "'; known: direct, hierarchical, decentralized");
+  if (name == "direct") return std::make_unique<DirectCollector>();
+  GEORED_ENSURE(config.simulator != nullptr && config.network != nullptr,
+                "the '" + name +
+                    "' collector runs over a simulated network; CollectorConfig "
+                    "must provide simulator and network");
+  if (name == "hierarchical") {
+    return std::make_unique<HierarchicalCollector>(*config.simulator, *config.network,
+                                                   config.aggregation_root, config.aggregation);
+  }
+  return std::make_unique<DecentralizedCollector>(*config.simulator, *config.network,
+                                                  config.decision_strategy);
+}
+
+std::vector<std::string> collector_names() {
+  return {"direct", "hierarchical", "decentralized"};
+}
+
+}  // namespace geored::core

@@ -1,0 +1,262 @@
+// The placement epoch as a pipeline of replaceable stages.
+//
+// Algorithm 1 is one fixed loop — collect summaries, macro-cluster them,
+// map centroids to data centers, gate the migration — and the library used
+// to reproduce it three separate times (ReplicationManager::run_epoch, the
+// decentralized all-to-all variant, and the hierarchical aggregation tree).
+// This header factors the loop into four stage interfaces so the variants
+// become plugins behind one canonical composition:
+//
+//   SummaryCollector   how micro-cluster summaries reach the decision point
+//                      (direct in-process, two-level aggregation tree, or
+//                      all-to-all decentralized agreement)
+//   PlacementProposer  how the collected summaries become a proposed
+//                      placement (any place::PlacementStrategy, plus the
+//                      warm-start centroid cache for online clustering)
+//   MigrationGate      whether the proposal is worth the move (§III-C)
+//   Adopter            how replica state follows an adopted placement and
+//                      how retained summaries age
+//
+// ReplicationManager::run_epoch composes the four stages; the default
+// composition (standard_pipeline in replication_manager.h) is byte-identical
+// to the historical hand-inlined loop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/summarizer.h"
+#include "core/aggregation.h"
+#include "core/migration.h"
+#include "placement/online_clustering.h"
+#include "placement/strategy.h"
+#include "placement/types.h"
+
+namespace geored::core {
+
+/// Epoch-scoped facts every collector may need: which data centers are
+/// usable this epoch, the degree in force, and the epoch's decision seed.
+struct CollectionContext {
+  const std::vector<place::CandidateInfo>& candidates;
+  std::size_t k = 3;
+  std::uint64_t epoch_seed = 0;
+};
+
+/// What a collection round produced.
+struct CollectedSummaries {
+  /// Every collected micro-cluster, flattened in source order.
+  std::vector<cluster::MicroCluster> summaries;
+  /// Wire bytes the decision point received (the O(km) cost of Table II).
+  std::size_t summary_bytes = 0;
+  /// Set when the collection protocol itself already agreed on a proposal
+  /// (the decentralized collector); the pipeline then skips the proposer.
+  std::optional<place::Placement> agreed_proposal;
+};
+
+/// Stage 1: ships per-replica summaries to the placement decision point.
+class SummaryCollector {
+ public:
+  virtual ~SummaryCollector() = default;
+
+  /// Registry name of this collector ("direct", "hierarchical", ...).
+  virtual std::string name() const = 0;
+
+  /// Collects `sources` (one entry per reporting replica, in source order)
+  /// into one flattened summary set. Must be deterministic in the sources
+  /// and `context.epoch_seed`.
+  virtual CollectedSummaries collect(const std::vector<SummarySource>& sources,
+                                     const CollectionContext& context) = 0;
+};
+
+/// Today's in-process collection: summaries are concatenated locally and the
+/// wire size accounted as if each source serialized straight to the
+/// coordinator. Byte-identical to the historical run_epoch collection step.
+class DirectCollector final : public SummaryCollector {
+ public:
+  std::string name() const override { return "direct"; }
+  CollectedSummaries collect(const std::vector<SummarySource>& sources,
+                             const CollectionContext& context) override;
+};
+
+/// Two-level aggregation tree over the simulated network (core/aggregation):
+/// sources -> nearest regional aggregator -> root. The reported wire size is
+/// the root's inbound bytes — the bandwidth the tree exists to bound.
+class HierarchicalCollector final : public SummaryCollector {
+ public:
+  /// The collector plans a fresh tree per epoch (sources move) and runs it
+  /// over `simulator`/`network`, with the root at `root`.
+  HierarchicalCollector(sim::Simulator& simulator, sim::Network& network, topo::NodeId root,
+                        AggregationConfig config = {});
+
+  std::string name() const override { return "hierarchical"; }
+  CollectedSummaries collect(const std::vector<SummarySource>& sources,
+                             const CollectionContext& context) override;
+
+ private:
+  sim::Simulator& simulator_;
+  sim::Network& network_;
+  topo::NodeId root_;
+  AggregationConfig config_;
+};
+
+/// All-to-all decentralized agreement (core/decentralized): every replica
+/// receives every summary, computes the placement locally with the shared
+/// epoch seed, and the agreed proposal is returned — the proposer stage is
+/// skipped. `strategy` is the per-replica decision rule.
+class DecentralizedCollector final : public SummaryCollector {
+ public:
+  DecentralizedCollector(sim::Simulator& simulator, sim::Network& network,
+                         std::shared_ptr<const place::PlacementStrategy> strategy);
+
+  std::string name() const override { return "decentralized"; }
+  CollectedSummaries collect(const std::vector<SummarySource>& sources,
+                             const CollectionContext& context) override;
+
+ private:
+  sim::Simulator& simulator_;
+  sim::Network& network_;
+  std::shared_ptr<const place::PlacementStrategy> strategy_;
+};
+
+/// Stage 2: turns collected summaries into a proposed placement.
+class PlacementProposer {
+ public:
+  virtual ~PlacementProposer() = default;
+
+  /// Human-readable name used in reports.
+  virtual std::string name() const = 0;
+
+  /// Proposes min(input.k, #candidates) distinct candidates. May update
+  /// internal caches (e.g. warm-start centroids); deterministic in the
+  /// input, input.seed, and prior propose() history.
+  virtual place::Placement propose(const place::PlacementInput& input) = 0;
+
+  /// Warm-start centroid cache, persisted by ReplicationManager::save so a
+  /// restored stand-by proposes exactly what the failed coordinator would
+  /// have. Proposers without a cache report empty and ignore restores.
+  virtual std::vector<Point> warm_centroids() const { return {}; }
+  virtual void set_warm_centroids(std::vector<Point> centroids) { (void)centroids; }
+};
+
+/// The paper's Algorithm 1 proposer: weighted k-means macro-clustering with
+/// the warm-start centroid cache threaded between epochs.
+class ClusteringProposer final : public PlacementProposer {
+ public:
+  explicit ClusteringProposer(place::OnlineClusteringConfig config = {}, bool warm_start = true);
+
+  std::string name() const override { return "online clustering"; }
+  place::Placement propose(const place::PlacementInput& input) override;
+  std::vector<Point> warm_centroids() const override { return last_macro_centroids_; }
+  void set_warm_centroids(std::vector<Point> centroids) override {
+    last_macro_centroids_ = std::move(centroids);
+  }
+
+ private:
+  place::OnlineClusteringConfig config_;
+  bool warm_start_;
+  std::vector<Point> last_macro_centroids_;
+};
+
+/// Adapts any registry strategy (random, offline k-means, greedy, ...) to
+/// the proposer stage. No warm-start cache.
+class StrategyProposer final : public PlacementProposer {
+ public:
+  explicit StrategyProposer(std::unique_ptr<place::PlacementStrategy> strategy);
+
+  std::string name() const override { return strategy_->name(); }
+  place::Placement propose(const place::PlacementInput& input) override;
+
+ private:
+  std::unique_ptr<place::PlacementStrategy> strategy_;
+};
+
+/// Stage 3: the migration cost/benefit gate.
+class MigrationGate {
+ public:
+  virtual ~MigrationGate() = default;
+
+  /// Decides whether moving `replicas_moved` replicas is worth the delay
+  /// improvement. Must not mutate state (the gate may be consulted
+  /// speculatively).
+  virtual MigrationDecision evaluate(double old_delay_ms, double new_delay_ms,
+                                     std::size_t replicas_moved) const = 0;
+};
+
+/// decide_migration over a fixed MigrationPolicy (§III-C).
+class PolicyGate final : public MigrationGate {
+ public:
+  explicit PolicyGate(MigrationPolicy policy) : policy_(policy) {}
+
+  MigrationDecision evaluate(double old_delay_ms, double new_delay_ms,
+                             std::size_t replicas_moved) const override;
+
+ private:
+  MigrationPolicy policy_;
+};
+
+/// Stage 4: applies an adopted placement to the per-replica summarizers, or
+/// ages them when the epoch keeps the old placement.
+class Adopter {
+ public:
+  virtual ~Adopter() = default;
+
+  /// Rebuilds `summarizers` for the replicas of `next`, redistributing the
+  /// collected micro-clusters so usage knowledge survives the move.
+  virtual void adopt(const place::Placement& next,
+                     const std::vector<cluster::MicroCluster>& summaries,
+                     const std::vector<place::CandidateInfo>& candidates,
+                     const cluster::SummarizerConfig& summarizer_config,
+                     std::map<topo::NodeId, cluster::MicroClusterSummarizer>& summarizers) = 0;
+
+  /// Ages retained summaries so stale populations fade (recency).
+  virtual void retain(
+      std::map<topo::NodeId, cluster::MicroClusterSummarizer>& summarizers) = 0;
+};
+
+/// The historical behavior: each micro-cluster goes to the new replica
+/// nearest its centroid; retained summaries decay exponentially.
+class NearestRedistributionAdopter final : public Adopter {
+ public:
+  void adopt(const place::Placement& next, const std::vector<cluster::MicroCluster>& summaries,
+             const std::vector<place::CandidateInfo>& candidates,
+             const cluster::SummarizerConfig& summarizer_config,
+             std::map<topo::NodeId, cluster::MicroClusterSummarizer>& summarizers) override;
+  void retain(std::map<topo::NodeId, cluster::MicroClusterSummarizer>& summarizers) override;
+};
+
+/// One epoch's worth of stages. ReplicationManager owns one pipeline and
+/// composes the stages in run_epoch; every stage must be non-null.
+struct EpochPipeline {
+  std::unique_ptr<SummaryCollector> collector;
+  std::unique_ptr<PlacementProposer> proposer;
+  std::unique_ptr<MigrationGate> gate;
+  std::unique_ptr<Adopter> adopter;
+};
+
+/// Dependencies a collector implementation may need. "direct" needs none;
+/// the protocol collectors run over the simulated network.
+struct CollectorConfig {
+  sim::Simulator* simulator = nullptr;
+  sim::Network* network = nullptr;
+  /// Root of the two-level tree ("hierarchical").
+  topo::NodeId aggregation_root = 0;
+  AggregationConfig aggregation;
+  /// Per-replica decision rule ("decentralized"); defaults to the paper's
+  /// online clustering when null.
+  std::shared_ptr<const place::PlacementStrategy> decision_strategy;
+};
+
+/// String-keyed collector registry: "direct", "hierarchical",
+/// "decentralized". Throws std::invalid_argument for unknown names and when
+/// a protocol collector is requested without simulator/network.
+std::unique_ptr<SummaryCollector> make_collector(const std::string& name,
+                                                 const CollectorConfig& config = {});
+
+/// Names make_collector accepts, in registry order.
+std::vector<std::string> collector_names();
+
+}  // namespace geored::core

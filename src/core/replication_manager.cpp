@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
+#include <utility>
 
 #include "common/ensure.h"
 #include "common/random.h"
@@ -11,16 +13,34 @@
 
 namespace geored::core {
 
+EpochPipeline standard_pipeline(const ManagerConfig& config) {
+  EpochPipeline pipeline;
+  pipeline.collector = std::make_unique<DirectCollector>();
+  pipeline.proposer =
+      std::make_unique<ClusteringProposer>(config.strategy, config.warm_start_macro_clusters);
+  pipeline.gate = std::make_unique<PolicyGate>(config.migration);
+  pipeline.adopter = std::make_unique<NearestRedistributionAdopter>();
+  return pipeline;
+}
+
 ReplicationManager::ReplicationManager(std::vector<place::CandidateInfo> candidates,
                                        ManagerConfig config, std::uint64_t seed)
+    : ReplicationManager(std::move(candidates), config, seed, standard_pipeline(config)) {}
+
+ReplicationManager::ReplicationManager(std::vector<place::CandidateInfo> candidates,
+                                       ManagerConfig config, std::uint64_t seed,
+                                       EpochPipeline pipeline)
     : candidates_(std::move(candidates)),
       config_(config),
       seed_(seed),
-      degree_(config.replication_degree) {
+      degree_(config.replication_degree),
+      pipeline_(std::move(pipeline)) {
   GEORED_ENSURE(!candidates_.empty(), "manager needs at least one candidate data center");
   GEORED_ENSURE(config_.replication_degree >= 1, "replication degree must be >= 1");
   GEORED_ENSURE(config_.min_degree >= 1 && config_.min_degree <= config_.max_degree,
                 "degree bounds must satisfy 1 <= min <= max");
+  GEORED_ENSURE(pipeline_.collector && pipeline_.proposer && pipeline_.gate && pipeline_.adopter,
+                "every epoch pipeline stage must be set");
   degree_ = std::clamp(degree_, config_.min_degree, config_.max_degree);
 
   place::PlacementInput input;
@@ -90,33 +110,6 @@ double ReplicationManager::estimate_average_delay(
   return accesses > 0.0 ? total / accesses : 0.0;
 }
 
-void ReplicationManager::adopt_placement(const place::Placement& next,
-                                         const std::vector<cluster::MicroCluster>& summaries) {
-  // Rebuild the per-replica summarizers, handing each existing micro-cluster
-  // to the new replica closest to its centroid so usage knowledge survives
-  // the move.
-  std::map<topo::NodeId, cluster::MicroClusterSummarizer> fresh;
-  for (const auto node : next) {
-    fresh.emplace(node, cluster::MicroClusterSummarizer(config_.summarizer));
-  }
-  placement_ = next;
-  summarizers_ = std::move(fresh);
-  for (const auto& micro : summaries) {
-    if (micro.count() == 0) continue;
-    const Point centroid = micro.centroid();
-    topo::NodeId best = placement_.front();
-    double best_dist = std::numeric_limits<double>::infinity();
-    for (const auto node : placement_) {
-      const double dist = centroid.distance_squared_to(candidate_info(node).coords);
-      if (dist < best_dist) {
-        best_dist = dist;
-        best = node;
-      }
-    }
-    summarizers_.at(best).merge_cluster(micro);
-  }
-}
-
 void ReplicationManager::maybe_adjust_degree() {
   if (!config_.dynamic_degree) return;
   const auto accesses = static_cast<double>(epoch_accesses_);
@@ -130,7 +123,52 @@ void ReplicationManager::maybe_adjust_degree() {
   }
 }
 
+void ReplicationManager::set_degree(std::size_t degree) {
+  GEORED_ENSURE(degree >= 1, "replication degree must be >= 1");
+  degree_ = std::clamp(degree, config_.min_degree, config_.max_degree);
+}
+
+std::vector<double> ReplicationManager::delay_by_degree_curve(std::size_t min_degree,
+                                                              std::size_t max_degree) const {
+  GEORED_ENSURE(min_degree >= 1 && min_degree <= max_degree,
+                "degree bounds must satisfy 1 <= min <= max");
+  std::vector<cluster::MicroCluster> summaries;
+  double weight = 0.0;
+  for (const auto& [node, summarizer] : summarizers_) {
+    for (const auto& micro : summarizer.clusters()) {
+      summaries.push_back(micro);
+      weight += static_cast<double>(micro.count());
+    }
+  }
+  // A cold-start probe of the registry's online-clustering strategy; the
+  // epoch proposer is left untouched so probing cannot perturb warm starts.
+  const auto probe = place::make_strategy("online");
+  std::vector<double> curve;
+  curve.reserve(max_degree - min_degree + 1);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t k = min_degree; k <= max_degree; ++k) {
+    place::PlacementInput input;
+    input.candidates = candidates_;
+    input.k = k;
+    input.summaries = summaries;
+    // A seed stream distinct from the epoch proposals', so the probe and
+    // the next run_epoch never correlate.
+    input.seed = seed_ ^ (0xd1b54a32d192ed03ULL + epoch_index_);
+    const double per_access = estimate_average_delay(probe->place(input), summaries);
+    // More replicas can only help; clustering noise may say otherwise, so
+    // each level is floored by its predecessors — the allocator requires a
+    // non-increasing curve.
+    best = std::min(best, per_access);
+    // Scaled by summarized access weight: the budget allocator compares
+    // absolute delay totals across groups, and hot objects matter more.
+    curve.push_back(best * weight);
+  }
+  return curve;
+}
+
 void ReplicationManager::save(ByteWriter& writer) const {
+  writer.write_u32(kCheckpointMagic);
+  writer.write_u32(kCheckpointVersion);
   writer.write_u64(epoch_index_);
   writer.write_u64(epoch_accesses_);
   writer.write_u64(degree_);
@@ -139,13 +177,21 @@ void ReplicationManager::save(ByteWriter& writer) const {
   for (const auto node : placement_) {
     summarizers_.at(node).serialize(writer);
   }
-  writer.write_u32(static_cast<std::uint32_t>(last_macro_centroids_.size()));
-  for (const auto& centroid : last_macro_centroids_) {
+  const std::vector<Point> centroids = pipeline_.proposer->warm_centroids();
+  writer.write_u32(static_cast<std::uint32_t>(centroids.size()));
+  for (const auto& centroid : centroids) {
     writer.write_f64_vector(centroid.values());
   }
 }
 
 void ReplicationManager::restore(ByteReader& reader) {
+  const std::uint32_t magic = reader.read_u32();
+  GEORED_ENSURE(magic == kCheckpointMagic,
+                "not a replication-manager checkpoint (bad magic)");
+  const std::uint32_t version = reader.read_u32();
+  GEORED_ENSURE(version == kCheckpointVersion,
+                "unsupported checkpoint format version " + std::to_string(version) +
+                    " (this build reads version " + std::to_string(kCheckpointVersion) + ")");
   const std::uint64_t epoch_index = reader.read_u64();
   const std::uint64_t epoch_accesses = reader.read_u64();
   const auto degree = static_cast<std::size_t>(reader.read_u64());
@@ -178,7 +224,7 @@ void ReplicationManager::restore(ByteReader& reader) {
   degree_ = degree;
   placement_ = std::move(placement);
   summarizers_ = std::move(summarizers);
-  last_macro_centroids_ = std::move(centroids);
+  pipeline_.proposer->set_warm_centroids(std::move(centroids));
 }
 
 EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded) {
@@ -198,58 +244,63 @@ EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded
     if (excluded.contains(node)) current_placement_impaired = true;
   }
 
-  // 1. Collect summaries from every replica (and account their wire size —
-  //    this is the O(km) bandwidth of Table II).
-  std::vector<cluster::MicroCluster> summaries;
-  ByteWriter writer;
-  for (const auto& [node, summarizer] : summarizers_) {
-    summarizer.serialize(writer);
-    for (const auto& micro : summarizer.clusters()) summaries.push_back(micro);
-  }
-  report.summary_bytes = writer.size();
-
-  // 2. Demand-adaptive degree.
+  // 1. Demand-adaptive degree. Adjusted before collection so protocol
+  //    collectors see the k actually in force this epoch; collection reads
+  //    neither the degree nor the access counter, so the order cannot
+  //    change results.
   maybe_adjust_degree();
   report.degree = degree_;
 
-  // 3. Propose a placement via Algorithm 1 over the usable candidates.
-  place::PlacementInput input;
-  input.candidates = usable;
-  input.k = degree_;
-  input.summaries = summaries;
-  input.seed = seed_ ^ (0x9e3779b97f4a7c15ULL + epoch_index_);
-  place::OnlineClusteringConfig strategy_config = config_.strategy;
-  if (config_.warm_start_macro_clusters) {
-    strategy_config.warm_start_centroids = last_macro_centroids_;
+  // 2. Collect summaries from every replica (and account their wire size —
+  //    this is the O(km) bandwidth of Table II).
+  std::vector<SummarySource> sources;
+  sources.reserve(summarizers_.size());
+  for (const auto& [node, summarizer] : summarizers_) {
+    sources.push_back({node, summarizer.clusters()});
   }
-  place::OnlineClusteringPlacement strategy(strategy_config);
-  auto details = strategy.place_detailed(input);
-  report.proposed_placement = std::move(details.placement);
-  last_macro_centroids_ = std::move(details.macro_centroids);
+  const std::uint64_t epoch_seed = seed_ ^ (0x9e3779b97f4a7c15ULL + epoch_index_);
+  CollectedSummaries collected =
+      pipeline_.collector->collect(sources, {usable, degree_, epoch_seed});
+  report.summary_bytes = collected.summary_bytes;
+
+  // 3. Propose a placement via the proposer stage over the usable
+  //    candidates — unless the collection protocol already agreed on one
+  //    (decentralized collection decides in-protocol).
+  if (collected.agreed_proposal.has_value()) {
+    report.proposed_placement = std::move(*collected.agreed_proposal);
+  } else {
+    place::PlacementInput input;
+    input.candidates = usable;
+    input.k = degree_;
+    input.summaries = collected.summaries;
+    input.seed = epoch_seed;
+    report.proposed_placement = pipeline_.proposer->propose(input);
+  }
 
   // 4. Migration gate.
-  report.old_estimated_delay_ms = estimate_average_delay(placement_, summaries);
+  report.old_estimated_delay_ms = estimate_average_delay(placement_, collected.summaries);
   report.new_estimated_delay_ms =
-      estimate_average_delay(report.proposed_placement, summaries);
+      estimate_average_delay(report.proposed_placement, collected.summaries);
   std::size_t moved = 0;
   for (const auto node : report.proposed_placement) {
     if (std::find(placement_.begin(), placement_.end(), node) == placement_.end()) ++moved;
   }
   report.replicas_moved = moved;
-  report.decision = decide_migration(config_.migration, report.old_estimated_delay_ms,
-                                     report.new_estimated_delay_ms, moved);
+  report.decision = pipeline_.gate->evaluate(report.old_estimated_delay_ms,
+                                             report.new_estimated_delay_ms, moved);
 
-  // A degree change must be applied even if the gate rejects the proposal's
-  // quality gain; in that case adopt the proposal anyway (capacity change
-  // dominates cost considerations here, as in the paper's discussion).
-  // Likewise when a current replica sits on an excluded (failed) data
-  // center: availability overrides the cost gate.
+  // 5. Adopt or retain. A degree change must be applied even if the gate
+  // rejects the proposal's quality gain; in that case adopt the proposal
+  // anyway (capacity change dominates cost considerations here, as in the
+  // paper's discussion). Likewise when a current replica sits on an
+  // excluded (failed) data center: availability overrides the cost gate.
   const bool degree_changed = report.proposed_placement.size() != placement_.size();
   if (report.decision.migrate || degree_changed || current_placement_impaired) {
-    adopt_placement(report.proposed_placement, summaries);
+    placement_ = report.proposed_placement;
+    pipeline_.adopter->adopt(placement_, collected.summaries, candidates_, config_.summarizer,
+                             summarizers_);
   } else {
-    // Age the retained summaries so stale populations fade (recency).
-    for (auto& [node, summarizer] : summarizers_) summarizer.decay();
+    pipeline_.adopter->retain(summarizers_);
   }
   report.adopted_placement = placement_;
 

@@ -24,11 +24,20 @@
 
 #include "cluster/summarizer.h"
 #include "common/serialize.h"
+#include "core/epoch_pipeline.h"
 #include "core/migration.h"
 #include "placement/online_clustering.h"
 #include "placement/types.h"
 
 namespace geored::core {
+
+/// Checkpoint wire format produced by ReplicationManager::save. The header
+/// guards against feeding stale or foreign blobs into restore(): the magic
+/// identifies the blob as a manager checkpoint at all, and the version is
+/// bumped whenever the payload layout changes so an old blob fails with a
+/// clear error instead of misparsing silently.
+inline constexpr std::uint32_t kCheckpointMagic = 0x47524D43;  // "GRMC"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
 
 struct ManagerConfig {
   /// Target degree of replication (the paper's k).
@@ -74,13 +83,27 @@ struct EpochReport {
   std::size_t degree = 0;              ///< k in force after the epoch
 };
 
+/// The canonical stage composition for a ManagerConfig: direct in-process
+/// collection, the paper's online-clustering proposer (with warm starts per
+/// the config), the configured migration policy gate, and nearest-centroid
+/// summary redistribution. A manager built on this pipeline behaves
+/// byte-identically to the historical hand-inlined run_epoch.
+EpochPipeline standard_pipeline(const ManagerConfig& config);
+
 class ReplicationManager {
  public:
   /// `candidates` are the usable data centers (with coordinates); the
   /// initial placement is a seeded random choice of k of them, exactly like
-  /// a location-oblivious system would start.
+  /// a location-oblivious system would start. Runs epochs on
+  /// standard_pipeline(config).
   ReplicationManager(std::vector<place::CandidateInfo> candidates, ManagerConfig config,
                      std::uint64_t seed);
+
+  /// As above, but with an explicit stage composition — swap any stage for
+  /// a protocol variant (hierarchical/decentralized collection, a different
+  /// proposer) without touching the epoch loop. Every stage must be set.
+  ReplicationManager(std::vector<place::CandidateInfo> candidates, ManagerConfig config,
+                     std::uint64_t seed, EpochPipeline pipeline);
 
   const place::Placement& placement() const { return placement_; }
   std::size_t degree() const { return degree_; }
@@ -112,21 +135,35 @@ class ReplicationManager {
   /// Accesses recorded since the last epoch.
   std::uint64_t epoch_accesses() const { return epoch_accesses_; }
 
+  /// Sets the degree an external allocator (e.g. FleetManager's replica
+  /// budget) granted this object, clamped to the configured bounds. Takes
+  /// effect at the next epoch: the proposal is sized to the new degree and
+  /// adopted under the degree-change rule.
+  void set_degree(std::size_t degree);
+
+  /// Estimated summary-weighted delay per access for each degree in
+  /// [min_degree, max_degree], scaled by the summarized access weight so
+  /// hot objects weigh more — the demand curve allocate_replica_budget
+  /// consumes. Non-increasing by construction. Does not mutate any state.
+  std::vector<double> delay_by_degree_curve(std::size_t min_degree,
+                                            std::size_t max_degree) const;
+
   /// Serializes the full mutable state (placement, degree, per-replica
-  /// summaries, epoch counters) so a coordinator can checkpoint and a
-  /// stand-by can resume without losing the learned usage knowledge.
+  /// summaries, epoch counters, warm-start centroids) behind a magic +
+  /// format-version header (kCheckpointMagic / kCheckpointVersion) so a
+  /// coordinator can checkpoint and a stand-by can resume without losing
+  /// the learned usage knowledge.
   void save(ByteWriter& writer) const;
 
   /// Restores state saved by save(). The manager must have been constructed
-  /// with the same candidates and configuration; restoring a placement that
-  /// references unknown candidates throws and leaves the manager unchanged.
+  /// with the same candidates and configuration; blobs with a wrong magic
+  /// or an unknown format version, and placements referencing unknown
+  /// candidates, throw and leave the manager unchanged.
   void restore(ByteReader& reader);
 
  private:
   double estimate_average_delay(const place::Placement& placement,
                                 const std::vector<cluster::MicroCluster>& summaries) const;
-  void adopt_placement(const place::Placement& next,
-                       const std::vector<cluster::MicroCluster>& summaries);
   const place::CandidateInfo& candidate_info(topo::NodeId node) const;
   void maybe_adjust_degree();
 
@@ -137,7 +174,7 @@ class ReplicationManager {
   std::size_t degree_;
   place::Placement placement_;
   std::map<topo::NodeId, cluster::MicroClusterSummarizer> summarizers_;
-  std::vector<Point> last_macro_centroids_;
+  EpochPipeline pipeline_;
   std::uint64_t epoch_accesses_ = 0;
 };
 

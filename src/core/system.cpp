@@ -24,7 +24,9 @@ ReplicationSystem::ReplicationSystem(sim::Simulator& simulator, sim::Network& ne
       coordinator_(coordinator),
       config_(config),
       rng_(seed),
-      manager_(candidates_, config.manager, seed) {
+      // The explicit canonical composition — the place to swap a stage for
+      // a protocol variant (e.g. a hierarchical collector) system-wide.
+      manager_(candidates_, config.manager, seed, standard_pipeline(config.manager)) {
   GEORED_ENSURE(clients_.size() == client_coords_.size(),
                 "one coordinate per client required");
   GEORED_ENSURE(clients_.size() == workload_.client_count(),

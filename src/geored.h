@@ -20,7 +20,9 @@
 #include "core/aggregation.h"
 #include "core/decentralized.h"
 #include "core/degree_allocator.h"
+#include "core/epoch_pipeline.h"
 #include "core/evaluation.h"
+#include "core/fleet_manager.h"
 #include "core/migration.h"
 #include "core/replication_manager.h"
 #include "core/system.h"

@@ -1,5 +1,8 @@
 #include "placement/strategy.h"
 
+#include <iterator>
+#include <stdexcept>
+
 #include "common/ensure.h"
 #include "placement/greedy.h"
 #include "placement/hotzone.h"
@@ -10,6 +13,32 @@
 #include "placement/random_placement.h"
 
 namespace geored::place {
+
+namespace {
+
+struct RegistryEntry {
+  const char* name;
+  StrategyKind kind;
+};
+
+/// Canonical names, in StrategyKind order (strategy_names relies on this).
+constexpr RegistryEntry kRegistry[] = {
+    {"random", StrategyKind::kRandom},
+    {"offline_kmeans", StrategyKind::kOfflineKMeans},
+    {"online", StrategyKind::kOnlineClustering},
+    {"optimal", StrategyKind::kOptimal},
+    {"greedy", StrategyKind::kGreedy},
+    {"hotzone", StrategyKind::kHotZone},
+    {"local_search", StrategyKind::kLocalSearch},
+};
+
+/// Historical CLI spellings kept working.
+constexpr RegistryEntry kAliases[] = {
+    {"offline", StrategyKind::kOfflineKMeans},
+    {"local-search", StrategyKind::kLocalSearch},
+};
+
+}  // namespace
 
 std::unique_ptr<PlacementStrategy> make_strategy(StrategyKind kind) {
   switch (kind) {
@@ -29,6 +58,31 @@ std::unique_ptr<PlacementStrategy> make_strategy(StrategyKind kind) {
       return std::make_unique<LocalSearchPlacement>();
   }
   throw InternalError("unknown strategy kind");
+}
+
+StrategyKind strategy_kind(const std::string& name) {
+  for (const auto& entry : kRegistry) {
+    if (name == entry.name) return entry.kind;
+  }
+  for (const auto& entry : kAliases) {
+    if (name == entry.name) return entry.kind;
+  }
+  std::string known;
+  for (const auto& entry : kRegistry) {
+    known += known.empty() ? entry.name : std::string("|") + entry.name;
+  }
+  throw std::invalid_argument("unknown strategy '" + name + "' (expected " + known + ")");
+}
+
+std::unique_ptr<PlacementStrategy> make_strategy(const std::string& name) {
+  return make_strategy(strategy_kind(name));
+}
+
+std::vector<std::string> strategy_names() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kRegistry));
+  for (const auto& entry : kRegistry) names.emplace_back(entry.name);
+  return names;
 }
 
 std::string strategy_name(StrategyKind kind) { return make_strategy(kind)->name(); }

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "placement/types.h"
 
@@ -33,6 +34,21 @@ enum class StrategyKind {
 
 /// Factory for a default-configured strategy of the given kind.
 std::unique_ptr<PlacementStrategy> make_strategy(StrategyKind kind);
+
+/// String-keyed registry: as make_strategy(StrategyKind) but addressed by
+/// name, so tools and configs select strategies without touching the enum.
+/// Canonical names (in StrategyKind order): "random", "offline_kmeans",
+/// "online", "optimal", "greedy", "hotzone", "local_search"; the CLI
+/// spellings "offline" and "local-search" are accepted as aliases. Throws
+/// std::invalid_argument for unknown names.
+std::unique_ptr<PlacementStrategy> make_strategy(const std::string& name);
+
+/// Maps a registry name (or alias) to its StrategyKind; throws
+/// std::invalid_argument for unknown names.
+StrategyKind strategy_kind(const std::string& name);
+
+/// The canonical registry names, in StrategyKind order.
+std::vector<std::string> strategy_names();
 
 /// Name used in reports for a strategy kind (matches PlacementStrategy::name).
 std::string strategy_name(StrategyKind kind);

@@ -28,7 +28,12 @@ struct ClientRecord {
   topo::NodeId client = 0;
   Point coords;                    ///< estimated network coordinates
   std::uint64_t access_count = 0;  ///< accesses in the analyzed period
-  double data_weight = 0.0;        ///< data volume exchanged (normalized)
+
+  /// Data volume this client exchanged per access, normalized so 1.0 is one
+  /// plain access (the unit `serve()`/`record_access()` default to). Callers
+  /// that weight clients by traffic set this to the measured volume; leaving
+  /// it untouched means "an ordinary access", never "no data".
+  double data_weight = 1.0;
 };
 
 /// A candidate data center.

@@ -4,7 +4,6 @@
 #include <limits>
 
 #include "common/ensure.h"
-#include "common/random.h"
 
 namespace geored::store {
 
@@ -30,32 +29,29 @@ ReplicatedKvStore::ReplicatedKvStore(sim::Simulator& simulator, sim::Network& ne
   // A quorum system cannot let the degree drift away from n.
   config_.manager.dynamic_degree = false;
 
-  groups_.reserve(config_.groups);
-  for (std::size_t g = 0; g < config_.groups; ++g) {
-    Group group;
-    group.manager = std::make_unique<core::ReplicationManager>(
-        candidates_, config_.manager, seed_ ^ (0x9e3779b97f4a7c15ULL * (g + 1)));
-    groups_.push_back(std::move(group));
-  }
+  core::FleetConfig fleet_config;
+  fleet_config.groups = config_.groups;
+  fleet_config.manager = config_.manager;
+  // The quorum system owns the degree; no fleet-wide replica budget here.
+  fleet_ = std::make_unique<core::FleetManager>(candidates_, fleet_config, seed_);
   for (const auto& candidate : candidates_) {
     storage_.emplace(candidate.node, StorageNode{});
   }
 }
 
 std::uint32_t ReplicatedKvStore::group_of(ObjectId id) const {
-  std::uint64_t state = id;
-  return static_cast<std::uint32_t>(splitmix64(state) % config_.groups);
+  return static_cast<std::uint32_t>(fleet_->group_of(id));
 }
 
 const place::Placement& ReplicatedKvStore::placement_of_group(std::uint32_t group) const {
-  GEORED_ENSURE(group < groups_.size(), "group index out of range");
-  return groups_[group].manager->placement();
+  GEORED_ENSURE(group < fleet_->group_count(), "group index out of range");
+  return fleet_->group(group).placement();
 }
 
 const core::ReplicationManager& ReplicatedKvStore::manager_of_group(
     std::uint32_t group) const {
-  GEORED_ENSURE(group < groups_.size(), "group index out of range");
-  return *groups_[group].manager;
+  GEORED_ENSURE(group < fleet_->group_count(), "group index out of range");
+  return fleet_->group(group);
 }
 
 const place::CandidateInfo& ReplicatedKvStore::candidate_info(topo::NodeId node) const {
@@ -91,7 +87,7 @@ void ReplicatedKvStore::put(topo::NodeId client, const Point& client_coords, Obj
                             std::string data, std::function<void(const PutResult&)> done) {
   GEORED_ENSURE(static_cast<bool>(done), "put requires a completion callback");
   const std::uint32_t group = group_of(id);
-  auto& manager = *groups_[group].manager;
+  auto& manager = fleet_->group(group);
   const place::Placement placement = manager.placement();
 
   // Hybrid logical clock: advance the writer's clock past both everything
@@ -153,7 +149,7 @@ void ReplicatedKvStore::get(topo::NodeId client, const Point& client_coords, Obj
                             std::function<void(const GetResult&)> done) {
   GEORED_ENSURE(static_cast<bool>(done), "get requires a completion callback");
   const std::uint32_t group = group_of(id);
-  auto& manager = *groups_[group].manager;
+  auto& manager = fleet_->group(group);
   const place::Placement placement = manager.placement();
   const auto targets = closest_replicas(placement, client_coords, config_.quorum.r);
   GEORED_CHECK(!targets.empty(), "group has no replicas");
@@ -259,16 +255,18 @@ void ReplicatedKvStore::migrate_group(std::uint32_t group,
 }
 
 std::vector<core::EpochReport> ReplicatedKvStore::run_placement_epochs() {
-  std::vector<core::EpochReport> reports;
-  reports.reserve(groups_.size());
-  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
-    core::EpochReport report = groups_[g].manager->run_epoch();
+  // Epochs are pure in-memory placement decisions (no network sends), so
+  // running them all first — in parallel inside the fleet — and migrating
+  // in group order afterwards schedules exactly the network events the
+  // historical epoch-then-migrate-per-group loop produced.
+  core::FleetEpochReport fleet_report = fleet_->run_epochs();
+  for (std::uint32_t g = 0; g < fleet_report.group_reports.size(); ++g) {
+    const core::EpochReport& report = fleet_report.group_reports[g];
     if (report.adopted_placement != report.old_placement) {
       migrate_group(g, report.old_placement, report.adopted_placement);
     }
-    reports.push_back(std::move(report));
   }
-  return reports;
+  return std::move(fleet_report.group_reports);
 }
 
 const StorageNode& ReplicatedKvStore::storage_at(topo::NodeId node) const {

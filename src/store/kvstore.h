@@ -26,6 +26,7 @@
 #include <memory>
 
 #include "common/stats.h"
+#include "core/fleet_manager.h"
 #include "core/replication_manager.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -88,8 +89,9 @@ class ReplicatedKvStore {
   void get(topo::NodeId client, const Point& client_coords, ObjectId id,
            std::function<void(const GetResult&)> done);
 
-  /// Runs one placement epoch for every group and performs the resulting
-  /// data migrations over the network. Returns one report per group.
+  /// Runs one placement epoch for every group (via the FleetManager, one
+  /// parallel task per group) and performs the resulting data migrations
+  /// over the network in group order. Returns one report per group.
   std::vector<core::EpochReport> run_placement_epochs();
 
   // --- Observability ----------------------------------------------------
@@ -104,10 +106,6 @@ class ReplicatedKvStore {
   const StorageNode& storage_at(topo::NodeId node) const;
 
  private:
-  struct Group {
-    std::unique_ptr<core::ReplicationManager> manager;
-  };
-
   const place::CandidateInfo& candidate_info(topo::NodeId node) const;
   /// The `count` placement members closest to `coords` (predicted).
   std::vector<topo::NodeId> closest_replicas(const place::Placement& placement,
@@ -122,7 +120,8 @@ class ReplicatedKvStore {
   StoreConfig config_;
   std::uint64_t seed_;
 
-  std::vector<Group> groups_;
+  /// Per-group placement pipelines; the store's groups are the fleet's.
+  std::unique_ptr<core::FleetManager> fleet_;
   std::map<topo::NodeId, StorageNode> storage_;
   std::map<topo::NodeId, LamportClock> clocks_;
 

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <memory>
 
 #include "common/random.h"
+#include "placement/strategy.h"
 #include "placement/evaluate.h"
 #include "topology/topology.h"
 
@@ -58,8 +60,9 @@ TEST(Decentralized, AllReplicasAgreeOnTheProposal) {
     DecWorld world(12, 3, seed);
     sim::Simulator simulator;
     sim::Network network(simulator, world.topology);
+    const auto strategy = place::make_strategy("online");
     const auto result = run_decentralized_epoch(simulator, network, world.candidates,
-                                                world.summaries, 3, seed);
+                                                world.summaries, 3, seed, *strategy);
     EXPECT_TRUE(result.agreement) << "seed " << seed;
     ASSERT_EQ(result.per_replica.size(), 3u);
     for (const auto& decision : result.per_replica) {
@@ -72,8 +75,9 @@ TEST(Decentralized, MatchesTheCentralizedComputation) {
   DecWorld world(10, 3, 7);
   sim::Simulator simulator;
   sim::Network network(simulator, world.topology);
+  const auto strategy = place::make_strategy("online");
   const auto result = run_decentralized_epoch(simulator, network, world.candidates,
-                                              world.summaries, 3, 99);
+                                              world.summaries, 3, 99, *strategy);
 
   // Central reference: identical summaries in source-id order + same seed.
   place::PlacementInput input;
@@ -83,7 +87,7 @@ TEST(Decentralized, MatchesTheCentralizedComputation) {
   for (const auto& [source, clusters] : world.summaries) {
     for (const auto& micro : clusters) input.summaries.push_back(micro);
   }
-  const auto central = place::OnlineClusteringPlacement().place(input);
+  const auto central = place::make_strategy("online")->place(input);
   EXPECT_EQ(result.proposal, central);
 }
 
@@ -91,8 +95,9 @@ TEST(Decentralized, ExchangesKSquaredSummaries) {
   DecWorld world(12, 4, 3);
   sim::Simulator simulator;
   sim::Network network(simulator, world.topology);
+  const auto strategy = place::make_strategy("online");
   const auto result = run_decentralized_epoch(simulator, network, world.candidates,
-                                              world.summaries, 3, 1);
+                                              world.summaries, 3, 1, *strategy);
   const auto& stats = network.stats();
   EXPECT_EQ(stats.messages[static_cast<std::size_t>(sim::TrafficClass::kSummary)],
             4u * 3u);  // k*(k-1) with k = 4 holders
@@ -111,8 +116,9 @@ TEST(Decentralized, SingleReplicaDecidesAlone) {
   DecWorld world(8, 1, 11);
   sim::Simulator simulator;
   sim::Network network(simulator, world.topology);
+  const auto strategy = place::make_strategy("online");
   const auto result = run_decentralized_epoch(simulator, network, world.candidates,
-                                              world.summaries, 2, 5);
+                                              world.summaries, 2, 5, *strategy);
   EXPECT_TRUE(result.agreement);
   EXPECT_EQ(result.per_replica.size(), 1u);
   EXPECT_EQ(result.proposal.size(), 2u);
@@ -124,11 +130,13 @@ TEST(Decentralized, ValidatesArguments) {
   DecWorld world(8, 2, 1);
   sim::Simulator simulator;
   sim::Network network(simulator, world.topology);
+  const auto strategy = place::make_strategy("online");
   EXPECT_THROW(
-      run_decentralized_epoch(simulator, network, {}, world.summaries, 2, 1),
+      run_decentralized_epoch(simulator, network, {}, world.summaries, 2, 1, *strategy),
       std::invalid_argument);
-  EXPECT_THROW(run_decentralized_epoch(simulator, network, world.candidates, {}, 2, 1),
-               std::invalid_argument);
+  EXPECT_THROW(
+      run_decentralized_epoch(simulator, network, world.candidates, {}, 2, 1, *strategy),
+      std::invalid_argument);
 }
 
 }  // namespace

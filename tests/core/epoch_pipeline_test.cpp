@@ -1,0 +1,215 @@
+#include "core/epoch_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/replication_manager.h"
+#include "placement/strategy.h"
+
+namespace geored::core {
+namespace {
+
+/// Candidates on a 1-D line at x = 0, 100, 200, ..., 900.
+std::vector<place::CandidateInfo> line_candidates(std::size_t count = 10) {
+  std::vector<place::CandidateInfo> candidates;
+  for (std::size_t i = 0; i < count; ++i) {
+    candidates.push_back({static_cast<topo::NodeId>(i),
+                          Point{100.0 * static_cast<double>(i)},
+                          std::numeric_limits<double>::infinity()});
+  }
+  return candidates;
+}
+
+void append_placement(std::string& out, const char* label, const place::Placement& p) {
+  out += label;
+  out += "=[";
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(p[i]);
+  }
+  out += "]";
+}
+
+/// Renders every EpochReport field with bit-exact doubles (hex float), the
+/// same encoding the pre-refactor golden capture used. Two reports compare
+/// equal here iff they are bitwise-identical.
+std::string format_report(const EpochReport& r) {
+  std::string out;
+  append_placement(out, "old", r.old_placement);
+  append_placement(out, " proposed", r.proposed_placement);
+  append_placement(out, " adopted", r.adopted_placement);
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                " old_delay=%a new_delay=%a migrate=%d gain=%a rel=%a cost=%a moved=%zu "
+                "bytes=%zu accesses=%llu degree=%zu",
+                r.old_estimated_delay_ms, r.new_estimated_delay_ms,
+                r.decision.migrate ? 1 : 0, r.decision.gain_ms, r.decision.relative_gain,
+                r.decision.cost_usd, r.replicas_moved, r.summary_bytes,
+                static_cast<unsigned long long>(r.epoch_accesses), r.degree);
+  out += buffer;
+  return out;
+}
+
+// The pipeline refactor's contract: the default composition reproduces the
+// hand-inlined pre-refactor run_epoch bit for bit. These lines were captured
+// from the pre-refactor build (same scenario: k=3, seed 7, three client
+// populations at x = 0 / 430 / 900, 900 accesses each per epoch, 6 epochs).
+const char* const kGoldenDefaultScenario[] = {
+    "old=[7,3,8] proposed=[0,9,4] adopted=[0,9,4] old_delay=0x1.615a3e3074a26p+7 "
+    "new_delay=0x1.c3f6bc12401cp+3 migrate=1 gain=0x1.451ad26f50a0ap+7 "
+    "rel=0x1.d711d49b7cd5fp-1 cost=0x1.3333333333334p-2 moved=3 bytes=332 accesses=2700 "
+    "degree=3",
+    "old=[0,9,4] proposed=[0,9,4] adopted=[0,9,4] old_delay=0x1.fc2bd242e094cp+3 "
+    "new_delay=0x1.fc2bd242e094cp+3 migrate=0 gain=0x0p+0 rel=0x0p+0 cost=0x0p+0 moved=0 "
+    "bytes=492 accesses=2700 degree=3",
+    "old=[0,9,4] proposed=[9,4,0] adopted=[0,9,4] old_delay=0x1.07e9ab510c792p+4 "
+    "new_delay=0x1.07e9ab510c792p+4 migrate=0 gain=0x0p+0 rel=0x0p+0 cost=0x0p+0 moved=0 "
+    "bytes=492 accesses=2700 degree=3",
+    "old=[0,9,4] proposed=[9,0,4] adopted=[0,9,4] old_delay=0x1.123e7149fed67p+4 "
+    "new_delay=0x1.123e7149fed67p+4 migrate=0 gain=0x0p+0 rel=0x0p+0 cost=0x0p+0 moved=0 "
+    "bytes=492 accesses=2700 degree=3",
+    "old=[0,9,4] proposed=[0,9,4] adopted=[0,9,4] old_delay=0x1.1606b0bb1d29dp+4 "
+    "new_delay=0x1.1606b0bb1d29dp+4 migrate=0 gain=0x0p+0 rel=0x0p+0 cost=0x0p+0 moved=0 "
+    "bytes=492 accesses=2700 degree=3",
+    "old=[0,9,4] proposed=[0,9,4] adopted=[0,9,4] old_delay=0x1.1a62427729da4p+4 "
+    "new_delay=0x1.1a62427729da4p+4 migrate=0 gain=0x0p+0 rel=0x0p+0 cost=0x0p+0 moved=0 "
+    "bytes=492 accesses=2700 degree=3",
+};
+
+ManagerConfig golden_config() {
+  ManagerConfig config;
+  config.replication_degree = 3;
+  config.summarizer.max_clusters = 4;
+  config.summarizer.min_absorb_radius = 10.0;
+  return config;
+}
+
+void feed_golden_epoch(ReplicationManager& manager, Rng& rng) {
+  for (int i = 0; i < 900; ++i) {
+    manager.serve(Point{rng.normal(0.0, 15.0)});
+    manager.serve(Point{rng.normal(430.0, 15.0)});
+    manager.serve(Point{rng.normal(900.0, 15.0)});
+  }
+}
+
+TEST(EpochPipeline, DefaultCompositionMatchesPreRefactorGolden) {
+  ReplicationManager manager(line_candidates(), golden_config(), 7);
+  Rng rng(5);
+  for (std::size_t epoch = 0; epoch < std::size(kGoldenDefaultScenario); ++epoch) {
+    feed_golden_epoch(manager, rng);
+    EXPECT_EQ(format_report(manager.run_epoch()), kGoldenDefaultScenario[epoch])
+        << "epoch " << epoch;
+  }
+}
+
+TEST(EpochPipeline, ExplicitCompositionMatchesLegacyConstructor) {
+  // Building the stages by hand must be indistinguishable from the
+  // config-driven constructor — same reports, bit for bit, every epoch.
+  const ManagerConfig config = golden_config();
+  ReplicationManager legacy(line_candidates(), config, 7);
+  EpochPipeline pipeline;
+  pipeline.collector = make_collector("direct");
+  pipeline.proposer = std::make_unique<ClusteringProposer>(config.strategy,
+                                                           config.warm_start_macro_clusters);
+  pipeline.gate = std::make_unique<PolicyGate>(config.migration);
+  pipeline.adopter = std::make_unique<NearestRedistributionAdopter>();
+  ReplicationManager explicit_stages(line_candidates(), config, 7, std::move(pipeline));
+
+  Rng legacy_rng(5);
+  Rng explicit_rng(5);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    feed_golden_epoch(legacy, legacy_rng);
+    feed_golden_epoch(explicit_stages, explicit_rng);
+    EXPECT_EQ(format_report(explicit_stages.run_epoch()), format_report(legacy.run_epoch()))
+        << "epoch " << epoch;
+  }
+}
+
+TEST(EpochPipeline, StrategyProposerMatchesLegacyForStatelessStrategies) {
+  // A registry strategy without a warm-start cache still composes: offline
+  // k-means through StrategyProposer proposes exactly what the bare
+  // strategy would.
+  const auto candidates = line_candidates();
+  place::PlacementInput input;
+  input.candidates = candidates;
+  input.k = 3;
+  input.seed = 11;
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    place::ClientRecord record;
+    record.client = 0;
+    record.coords = Point{rng.uniform(0.0, 900.0)};
+    record.access_count = 1;
+    input.clients.push_back(record);
+  }
+
+  StrategyProposer proposer(place::make_strategy("offline_kmeans"));
+  EXPECT_EQ(proposer.name(), place::make_strategy("offline_kmeans")->name());
+  EXPECT_EQ(proposer.propose(input), place::make_strategy("offline_kmeans")->place(input));
+  EXPECT_TRUE(proposer.warm_centroids().empty());  // no cache to persist
+}
+
+TEST(EpochPipeline, RejectsIncompletePipelines) {
+  EpochPipeline pipeline;  // all stages null
+  EXPECT_THROW(
+      ReplicationManager(line_candidates(), golden_config(), 7, std::move(pipeline)),
+      std::invalid_argument);
+}
+
+TEST(EpochPipeline, CollectorRegistryKnowsItsNames) {
+  const auto names = collector_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "direct");
+  EXPECT_EQ(names[1], "hierarchical");
+  EXPECT_EQ(names[2], "decentralized");
+
+  const auto direct = make_collector("direct");
+  EXPECT_EQ(direct->name(), "direct");
+
+  EXPECT_THROW(make_collector("carrier-pigeon"), std::invalid_argument);
+  // Protocol collectors need a simulated network to run over.
+  EXPECT_THROW(make_collector("hierarchical"), std::invalid_argument);
+  EXPECT_THROW(make_collector("decentralized"), std::invalid_argument);
+}
+
+TEST(EpochPipeline, StrategyRegistryKnowsItsNames) {
+  const auto names = place::strategy_names();
+  ASSERT_EQ(names.size(), 7u);
+  for (const auto& name : names) {
+    const auto strategy = place::make_strategy(name);
+    ASSERT_NE(strategy, nullptr) << name;
+    EXPECT_EQ(place::make_strategy(place::strategy_kind(name))->name(), strategy->name());
+  }
+  // Aliases resolve to their canonical strategies.
+  EXPECT_EQ(place::strategy_kind("offline"), place::strategy_kind("offline_kmeans"));
+  EXPECT_EQ(place::strategy_kind("local-search"), place::strategy_kind("local_search"));
+  EXPECT_THROW(place::make_strategy("simulated-annealing"), std::invalid_argument);
+}
+
+TEST(EpochPipeline, DirectCollectorFlattensInSourceOrder) {
+  std::vector<SummarySource> sources(2);
+  sources[0].node = 4;
+  sources[1].node = 9;
+  for (int s = 0; s < 2; ++s) {
+    cluster::MicroCluster micro;
+    micro.absorb(Point{100.0 * s}, 1.0);
+    sources[s].clusters.push_back(micro);
+  }
+  const auto candidates = line_candidates();
+  DirectCollector collector;
+  const auto collected = collector.collect(sources, {candidates, 2, 0});
+  ASSERT_EQ(collected.summaries.size(), 2u);
+  EXPECT_EQ(collected.summaries[0].centroid()[0], 0.0);
+  EXPECT_EQ(collected.summaries[1].centroid()[0], 100.0);
+  EXPECT_FALSE(collected.agreed_proposal.has_value());
+  EXPECT_GT(collected.summary_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace geored::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <set>
 
@@ -289,6 +290,61 @@ TEST(Manager, RestoreRejectsForeignPlacementAndKeepsState) {
   ByteReader reader(writer.bytes());
   EXPECT_THROW(other.restore(reader), std::invalid_argument);
   EXPECT_EQ(other.placement(), before);  // unchanged after the failed restore
+}
+
+TEST(Manager, CheckpointLeadsWithMagicAndVersion) {
+  ReplicationManager manager(line_candidates(), small_config(2), 7);
+  ByteWriter writer;
+  manager.save(writer);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.read_u32(), kCheckpointMagic);
+  EXPECT_EQ(reader.read_u32(), kCheckpointVersion);
+}
+
+TEST(Manager, CheckpointRoundTripsThroughHeader) {
+  ReplicationManager primary(line_candidates(), small_config(2), 7);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) primary.serve(Point{rng.normal(100.0, 40.0)});
+  ByteWriter writer;
+  primary.save(writer);
+
+  ReplicationManager standby(line_candidates(), small_config(2), 7);
+  ByteReader reader(writer.bytes());
+  standby.restore(reader);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_EQ(standby.placement(), primary.placement());
+  EXPECT_EQ(standby.epoch_accesses(), primary.epoch_accesses());
+}
+
+TEST(Manager, RestoreRejectsBadMagicAndKeepsState) {
+  ReplicationManager primary(line_candidates(), small_config(2), 7);
+  ByteWriter writer;
+  primary.save(writer);
+
+  // A buffer that never came from save(): not a checkpoint at all.
+  std::vector<std::uint8_t> corrupted = writer.bytes();
+  corrupted[0] ^= 0xFF;
+  ReplicationManager standby(line_candidates(), small_config(2), 7);
+  const auto before = standby.placement();
+  ByteReader reader(corrupted);
+  EXPECT_THROW(standby.restore(reader), std::invalid_argument);
+  EXPECT_EQ(standby.placement(), before);
+}
+
+TEST(Manager, RestoreRejectsFutureFormatVersion) {
+  ReplicationManager primary(line_candidates(), small_config(2), 7);
+  ByteWriter writer;
+  primary.save(writer);
+
+  // Same magic, but a format version this build does not understand.
+  std::vector<std::uint8_t> future = writer.bytes();
+  const std::uint32_t bad_version = kCheckpointVersion + 1;
+  std::memcpy(future.data() + sizeof(std::uint32_t), &bad_version, sizeof bad_version);
+  ReplicationManager standby(line_candidates(), small_config(2), 7);
+  const auto before = standby.placement();
+  ByteReader reader(future);
+  EXPECT_THROW(standby.restore(reader), std::invalid_argument);
+  EXPECT_EQ(standby.placement(), before);
 }
 
 TEST(Manager, EpochWithNoAccessesIsSafe) {

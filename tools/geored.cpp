@@ -20,6 +20,7 @@
 #include "common/significance.h"
 #include "core/evaluation.h"
 #include "netcoord/stability.h"
+#include "placement/strategy.h"
 #include "store/replay.h"
 #include "topology/analysis.h"
 #include "topology/planetlab_model.h"
@@ -52,17 +53,6 @@ core::CoordSystem coord_system_from_name(const std::string& name) {
   if (name == "gnp") return core::CoordSystem::kGnp;
   throw std::invalid_argument("unknown coordinate system: " + name +
                               " (expected rnp|vivaldi|gnp)");
-}
-
-place::StrategyKind strategy_from_name(const std::string& name) {
-  if (name == "random") return place::StrategyKind::kRandom;
-  if (name == "offline") return place::StrategyKind::kOfflineKMeans;
-  if (name == "online") return place::StrategyKind::kOnlineClustering;
-  if (name == "optimal") return place::StrategyKind::kOptimal;
-  if (name == "greedy") return place::StrategyKind::kGreedy;
-  if (name == "hotzone") return place::StrategyKind::kHotZone;
-  if (name == "local-search") return place::StrategyKind::kLocalSearch;
-  throw std::invalid_argument("unknown strategy: " + name);
 }
 
 std::vector<std::string> split_csv(const std::string& text) {
@@ -177,7 +167,7 @@ int cmd_experiment(const std::vector<std::string>& args) {
   config.quorum = static_cast<std::size_t>(parser.get_int("quorum"));
   config.strategies.clear();
   for (const auto& name : split_csv(parser.get_string("strategies"))) {
-    config.strategies.push_back(strategy_from_name(name));
+    config.strategies.push_back(place::strategy_kind(name));
   }
 
   const auto result = run_experiment(env, config);
@@ -355,10 +345,10 @@ int cmd_verify(const std::vector<std::string>& args) {
   config.runs = static_cast<std::size_t>(parser.get_int("runs"));
   const auto result = run_experiment(env, config);
 
-  const double random = result.mean_of(place::StrategyKind::kRandom);
-  const double offline = result.mean_of(place::StrategyKind::kOfflineKMeans);
-  const double online = result.mean_of(place::StrategyKind::kOnlineClustering);
-  const double optimal = result.mean_of(place::StrategyKind::kOptimal);
+  const double random = result.mean_of(place::strategy_kind("random"));
+  const double offline = result.mean_of(place::strategy_kind("offline_kmeans"));
+  const double online = result.mean_of(place::strategy_kind("online"));
+  const double optimal = result.mean_of(place::strategy_kind("optimal"));
   const auto quality = env.embedding_quality();
 
   struct Check {

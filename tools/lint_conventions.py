@@ -19,6 +19,11 @@ Checks, over src/ (the library — tests/bench/examples have their own idioms):
                         GEORED_ENSURE (or delegate to a function that does).
                         Suppress a deliberate exception with a trailing
                         `// lint: no-ensure` on the signature line.
+  5. registry-only      No direct `OnlineClusteringPlacement` construction
+                        outside the placement layer and the pipeline factory
+                        (src/core/epoch_pipeline.cpp): callers go through
+                        place::make_strategy("online") or make_collector so
+                        every decision rule stays registry-addressable.
 
 Exit status is 0 when clean, 1 when any violation is found.
 Usage: tools/lint_conventions.py [repo-root]
@@ -45,6 +50,20 @@ FUNC_DEF = re.compile(
     re.MULTILINE,
 )
 VALIDATORS = ("GEORED_ENSURE", "GEORED_CHECK", "GEORED_DCHECK", "validate_")
+
+# Direct construction of the online-clustering strategy: `new`, make_unique /
+# make_shared, a temporary `OnlineClusteringPlacement(...)`, or a named local
+# `OnlineClusteringPlacement foo(...)` / `... foo;`.
+DIRECT_CONSTRUCTION = re.compile(
+    r"new\s+(?:place::)?OnlineClusteringPlacement\b"
+    r"|make_(?:unique|shared)<[^>]*OnlineClusteringPlacement\s*>"
+    r"|\bOnlineClusteringPlacement\s*[({]"
+    r"|\bOnlineClusteringPlacement\s+\w+\s*[;({]"
+)
+# Files allowed to construct the strategy directly: the placement layer it
+# belongs to, and the pipeline's collector/proposer factory.
+REGISTRY_ALLOWLIST_PREFIXES = ("src/placement/",)
+REGISTRY_ALLOWLIST_FILES = ("src/core/epoch_pipeline.cpp",)
 
 
 def function_body(text: str, open_brace: int) -> str:
@@ -130,6 +149,21 @@ def check_ensure_on_entry(path: pathlib.Path, text: str, errors: list[str]) -> N
             )
 
 
+def check_registry_only_construction(
+    path: pathlib.Path, text: str, errors: list[str]
+) -> None:
+    posix = path.as_posix()
+    if posix.startswith(REGISTRY_ALLOWLIST_PREFIXES) or posix in REGISTRY_ALLOWLIST_FILES:
+        return
+    for lineno, line in enumerate(strip_comments_and_strings(text).splitlines(), 1):
+        if DIRECT_CONSTRUCTION.search(line):
+            errors.append(
+                f"{path}:{lineno}: [registry-only] construct OnlineClusteringPlacement "
+                'through place::make_strategy("online") or the epoch-pipeline '
+                "factories, not directly"
+            )
+
+
 def main() -> int:
     root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     src = root / "src"
@@ -146,6 +180,7 @@ def main() -> int:
         check_no_unseeded_rng(rel, text, errors)
         check_pragma_once(rel, text, errors)
         check_ensure_on_entry(rel, text, errors)
+        check_registry_only_construction(rel, text, errors)
     for error in errors:
         print(error)
     if errors:
