@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/ensure.h"
 #include "common/point_set.h"
@@ -105,9 +106,11 @@ PointSet kmeanspp_seed(const FlatPoints& points, std::size_t k, Rng& rng) {
   return centroids;
 }
 
-/// Lloyd's algorithm from given centroids; shared by the seeded and
-/// warm-start entry points.
-KMeansResult lloyd(const FlatPoints& points, PointSet centroids, const KMeansConfig& config) {
+/// Plain Lloyd's algorithm from given centroids: full nearest-centroid scan
+/// for every point in every iteration. The scalar reference for the
+/// bound-accelerated lloyd() below.
+KMeansResult lloyd_scalar(const FlatPoints& points, PointSet centroids,
+                          const KMeansConfig& config) {
   const std::size_t n = points.positions.size();
   const std::size_t dim = points.positions.dim();
   const std::size_t k = centroids.size();
@@ -172,7 +175,194 @@ KMeansResult lloyd(const FlatPoints& points, PointSet centroids, const KMeansCon
                   "k-means produced a non-finite centroid");
     const double objective = objective_of(points, centroids, best_dist_sq, &assignment);
     assignment_current = true;  // now reflects the post-update centroids
-    if (prev_objective - objective <= config.tolerance * std::max(1.0, prev_objective)) {
+    // The isfinite guard keeps the first iteration from "converging" against
+    // the infinite sentinel (inf - obj <= tol * inf holds in IEEE arithmetic).
+    if (std::isfinite(prev_objective) &&
+        prev_objective - objective <= config.tolerance * std::max(1.0, prev_objective)) {
+      prev_objective = objective;
+      ++iterations;
+      break;
+    }
+    prev_objective = objective;
+  }
+  KMeansResult result;
+  if (!assignment_current) {  // max_iterations == 0: no pass has run yet
+    prev_objective = objective_of(points, centroids, best_dist_sq, &assignment);
+  }
+  result.objective = prev_objective;
+  result.assignment = std::move(assignment);
+  result.iterations = iterations;
+  result.centroids.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) result.centroids.push_back(centroids.point(c));
+  return result;
+}
+
+/// Downward floating-point guard for the Hamerly bounds: a relative shave
+/// plus an absolute one, orders of magnitude wider than the rounding error
+/// of a distance computation, so a "provably still closest" verdict can
+/// never be an artifact of FP noise. Skipped scans must be *conservative* —
+/// a too-small bound only costs a redundant rescan, never a wrong answer.
+double guard_down(double bound) {  // lint: no-ensure (total)
+  return bound * (1.0 - 1e-10) - 1e-12;
+}
+
+/// One bounded assignment+objective pass (the Hamerly acceleration).
+///
+/// Invariant on entry: lower[i] is a conservative lower bound on the
+/// distance (not squared) from point i to every centroid *other than*
+/// assignment[i], as of the pre-update centroid positions. delta_max is an
+/// upper bound on how far any centroid moved in the update step,
+/// delta_second on how far any centroid other than `moved_most` moved — so
+/// a point assigned to the farthest-moving centroid only pays the
+/// second-largest movement against its bound (Hamerly's refinement).
+///
+/// For each point the decayed bound lb still under-estimates every
+/// non-assigned centroid's distance. If the exact squared distance to the
+/// assigned centroid is below the conservatively shaved lb^2, that centroid
+/// is *strictly* closest — nearest_of would pick the same index and compute
+/// the same squared distance — so the k-centroid scan (and the sqrt) is
+/// skipped and the bound decays to lb. Otherwise a full nearest2_of scan
+/// refreshes assignment and bound. Either way best_dist_sq[i] holds the
+/// exact squared distance to the assigned centroid, so the sequential
+/// weighted objective sum is bit-identical to the scalar objective_of.
+double objective_bounded(const FlatPoints& points, const PointSet& centroids,
+                         std::vector<double>& best_dist_sq,
+                         std::vector<std::size_t>& assignment, std::vector<double>& lower,
+                         double delta_max, double delta_second, std::size_t moved_most) {
+  const std::size_t n = points.positions.size();
+  parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const double* p = points.positions.row(i);
+          const double moved =
+              assignment[i] == moved_most ? delta_second : delta_max;
+          const double lb = guard_down(lower[i] - moved);
+          if (lb > 0.0) {
+            const double d_own_sq = centroids.distance_squared(assignment[i], p);
+            // Squared-space skip test: guard_down(lb*lb) < (true lb)^2 by a
+            // margin orders of magnitude beyond the rounding error of the
+            // square and the sqrt, so passing it proves sqrt(d_own_sq) < lb.
+            if (d_own_sq < guard_down(lb * lb)) {
+              best_dist_sq[i] = d_own_sq;
+              lower[i] = lb;
+              continue;
+            }
+          }
+          double second_dist_sq = 0.0;
+          assignment[i] = centroids.nearest2_of(p, &best_dist_sq[i], &second_dist_sq);
+          lower[i] = guard_down(std::sqrt(second_dist_sq));
+        }
+      },
+      kMinParallelPoints);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += points.weights[i] * best_dist_sq[i];
+  return total;
+}
+
+/// Lloyd's algorithm with Hamerly-style bound acceleration; shared by the
+/// seeded and warm-start entry points. Exactly reproduces lloyd_scalar —
+/// the bounds only decide *whether* a scan can be skipped, never what any
+/// retained value is, so centroids, assignment, objective, and iteration
+/// count are bit-identical (the KMeansEquivalence suite pins this).
+KMeansResult lloyd(const FlatPoints& points, PointSet centroids, const KMeansConfig& config) {
+  const std::size_t n = points.positions.size();
+  const std::size_t dim = points.positions.dim();
+  const std::size_t k = centroids.size();
+  double total_weight = 0.0;
+  for (const double w : points.weights) total_weight += w;
+  std::vector<std::size_t> assignment(n, 0);
+  // Accumulators reused across iterations instead of reallocating each one.
+  std::vector<double> sums(k * dim);
+  std::vector<double> cluster_weight(k);
+  std::vector<double> best_dist_sq(n);
+  // Hamerly state: per-point lower bound on the distance to the
+  // second-closest centroid, and the pre-update centroid positions for the
+  // per-iteration movement bound.
+  std::vector<double> lower(n);
+  std::vector<double> old_centroids(k * dim);
+  double prev_objective = std::numeric_limits<double>::infinity();
+  std::size_t iterations = 0;
+  // As in lloyd_scalar, the end-of-iteration bounded pass already leaves
+  // every point assigned to its nearest (post-update) centroid, so the
+  // explicit assignment scan only runs once, before the first update.
+  bool assignment_current = false;
+  for (; iterations < config.max_iterations; ++iterations) {
+    // Assignment step: full nearest2_of scans establish both the assignment
+    // and the initial bounds.
+    if (!assignment_current) {
+      parallel_for(
+          n,
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              double unused = 0.0, second_dist_sq = 0.0;
+              assignment[i] =
+                  centroids.nearest2_of(points.positions.row(i), &unused, &second_dist_sq);
+              lower[i] = guard_down(std::sqrt(second_dist_sq));
+            }
+          },
+          kMinParallelPoints);
+    }
+    // Update step: sequential accumulation in point order — verbatim
+    // lloyd_scalar, with the pre-update centroids saved for the bounds.
+    std::copy(centroids.row(0), centroids.row(0) + k * dim, old_centroids.begin());
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(cluster_weight.begin(), cluster_weight.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = assignment[i];
+      const double w = points.weights[i];
+      const double* p = points.positions.row(i);
+      double* sum = sums.data() + c * dim;
+      for (std::size_t d = 0; d < dim; ++d) sum[d] += p[d] * w;
+      cluster_weight[c] += w;
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (cluster_weight[c] > 0.0) {
+        double* row = centroids.mutable_row(c);
+        const double* sum = sums.data() + c * dim;
+        for (std::size_t d = 0; d < dim; ++d) row[d] = sum[d] / cluster_weight[c];
+      }
+      // Empty clusters keep their previous centroid; with good seeding this
+      // is rare and self-corrects on the next assignment.
+    }
+    GEORED_DCHECK(
+        [&] {
+          double redistributed = 0.0;
+          for (const double w : cluster_weight) redistributed += w;
+          return std::abs(redistributed - total_weight) <=
+                 1e-9 * std::max(1.0, total_weight);
+        }(),
+        "k-means iteration lost or invented point weight");
+    GEORED_DCHECK(centroids_finite(centroids, dim),
+                  "k-means produced a non-finite centroid");
+    // Movement bounds: the farthest and second-farthest any centroid
+    // travelled this update, plus which centroid travelled farthest.
+    double delta_max = 0.0, delta_second = 0.0;
+    std::size_t moved_most = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double* old_row = old_centroids.data() + c * dim;
+      const double* new_row = centroids.row(c);
+      double moved_sq = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff = new_row[d] - old_row[d];
+        moved_sq += diff * diff;
+      }
+      const double moved = std::sqrt(moved_sq);
+      if (moved > delta_max) {
+        delta_second = delta_max;
+        delta_max = moved;
+        moved_most = c;
+      } else {
+        delta_second = std::max(delta_second, moved);
+      }
+    }
+    const double objective = objective_bounded(points, centroids, best_dist_sq, assignment,
+                                               lower, delta_max, delta_second, moved_most);
+    assignment_current = true;  // now reflects the post-update centroids
+    // The isfinite guard keeps the first iteration from "converging" against
+    // the infinite sentinel (inf - obj <= tol * inf holds in IEEE arithmetic).
+    if (std::isfinite(prev_objective) &&
+        prev_objective - objective <= config.tolerance * std::max(1.0, prev_objective)) {
       prev_objective = objective;
       ++iterations;
       break;
@@ -205,13 +395,20 @@ double kmeans_objective(const std::vector<WeightedPoint>& points,
   return total;
 }
 
-KMeansResult weighted_kmeans(const std::vector<WeightedPoint>& points,
-                             const KMeansConfig& config, Rng& rng) {
+namespace {
+
+/// Lloyd variant selector shared by the accelerated and scalar entry points
+/// so validation and restart logic cannot drift between them.
+using LloydFn = KMeansResult (*)(const FlatPoints&, PointSet, const KMeansConfig&);
+
+KMeansResult weighted_kmeans_impl(const std::vector<WeightedPoint>& points,
+                                  const KMeansConfig& config, Rng& rng, LloydFn solve) {
   GEORED_ENSURE(!points.empty(), "k-means requires at least one point");
   GEORED_ENSURE(config.k >= 1, "k-means requires k >= 1");
   double total_weight = 0.0;
   for (const auto& wp : points) {
-    GEORED_ENSURE(wp.weight >= 0.0, "point weights must be non-negative");
+    GEORED_ENSURE(std::isfinite(wp.weight) && wp.weight >= 0.0,
+                  "point weights must be finite and non-negative");
     total_weight += wp.weight;
   }
   GEORED_ENSURE(total_weight > 0.0, "k-means requires positive total weight");
@@ -222,22 +419,51 @@ KMeansResult weighted_kmeans(const std::vector<WeightedPoint>& points,
 
   const std::size_t restarts = std::max<std::size_t>(1, config.restarts);
   for (std::size_t restart = 0; restart < restarts; ++restart) {
-    KMeansResult result = lloyd(flat, kmeanspp_seed(flat, config.k, rng), config);
+    KMeansResult result = solve(flat, kmeanspp_seed(flat, config.k, rng), config);
     if (result.objective < best_result.objective) best_result = std::move(result);
   }
   return best_result;
 }
 
-KMeansResult weighted_kmeans_from(const std::vector<WeightedPoint>& points,
-                                  std::vector<Point> initial_centroids,
-                                  const KMeansConfig& config) {
+KMeansResult weighted_kmeans_from_impl(const std::vector<WeightedPoint>& points,
+                                       std::vector<Point> initial_centroids,
+                                       const KMeansConfig& config, LloydFn solve) {
   GEORED_ENSURE(!points.empty(), "k-means requires at least one point");
   GEORED_ENSURE(!initial_centroids.empty(), "warm start requires initial centroids");
   for (const auto& centroid : initial_centroids) {
     GEORED_ENSURE(centroid.dim() == points.front().position.dim(),
                   "centroid dimension mismatch");
   }
-  return lloyd(flatten(points), PointSet::from_points(initial_centroids), config);
+  for (const auto& wp : points) {
+    GEORED_ENSURE(std::isfinite(wp.weight) && wp.weight >= 0.0,
+                  "point weights must be finite and non-negative");
+  }
+  return solve(flatten(points), PointSet::from_points(initial_centroids), config);
+}
+
+}  // namespace
+
+KMeansResult weighted_kmeans(const std::vector<WeightedPoint>& points,
+                             const KMeansConfig& config, Rng& rng) {
+  return weighted_kmeans_impl(points, config, rng, &lloyd);
+}
+
+KMeansResult weighted_kmeans_scalar(const std::vector<WeightedPoint>& points,
+                                    const KMeansConfig& config, Rng& rng) {
+  return weighted_kmeans_impl(points, config, rng, &lloyd_scalar);
+}
+
+KMeansResult weighted_kmeans_from(const std::vector<WeightedPoint>& points,
+                                  std::vector<Point> initial_centroids,
+                                  const KMeansConfig& config) {
+  return weighted_kmeans_from_impl(points, std::move(initial_centroids), config, &lloyd);
+}
+
+KMeansResult weighted_kmeans_from_scalar(const std::vector<WeightedPoint>& points,
+                                         std::vector<Point> initial_centroids,
+                                         const KMeansConfig& config) {
+  return weighted_kmeans_from_impl(points, std::move(initial_centroids), config,
+                                   &lloyd_scalar);
 }
 
 KMeansResult kmeans(const std::vector<Point>& points, const KMeansConfig& config, Rng& rng) {

@@ -25,6 +25,12 @@ class MicroCluster {
   /// volume `weight`.
   MicroCluster(const Point& coords, double weight);
 
+  /// Rebuilds a cluster from explicit moments — how the flat moment store
+  /// (cluster/moment_store.h) materializes its rows back into the wire/API
+  /// representation. `count` must be positive and the moment vectors must
+  /// share one dimension.
+  static MicroCluster from_moments(std::uint64_t count, double weight, Point sum, Point sum2);
+
   /// Absorbs one access into the cluster.
   void absorb(const Point& coords, double weight);
 

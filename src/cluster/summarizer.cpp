@@ -1,103 +1,158 @@
 #include "cluster/summarizer.h"
 
 #include <cmath>
-#include <limits>
 
 #include "common/ensure.h"
 
 namespace geored::cluster {
 
 MicroClusterSummarizer::MicroClusterSummarizer(const SummarizerConfig& config)
-    : config_(config) {
+    : config_(config), store_(config.min_absorb_radius, config.radius_factor) {
   GEORED_ENSURE(config.max_clusters >= 1, "summarizer needs at least one micro-cluster");
   GEORED_ENSURE(config.min_absorb_radius >= 0.0, "min_absorb_radius must be non-negative");
   GEORED_ENSURE(config.radius_factor > 0.0, "radius_factor must be positive");
   GEORED_ENSURE(config.epoch_decay > 0.0 && config.epoch_decay <= 1.0,
                 "epoch_decay must be in (0,1]");
-  clusters_.reserve(config.max_clusters + 1);
+  store_.reserve(config.max_clusters + 1);
+  clusters_cache_.reserve(config.max_clusters + 1);
 }
 
 void MicroClusterSummarizer::add(const Point& coords, double weight) {
+  add_row(coords.values().data(), coords.dim(), weight);
+}
+
+void MicroClusterSummarizer::add_batch(const PointSet& coords, std::span<const double> weights) {
+  GEORED_ENSURE(weights.empty() || weights.size() == coords.size(),
+                "add_batch weight count must match row count");
+  const std::size_t n = coords.size();
+  if (n == 0) return;
+  // Weights are validated up front so a bad weight rejects the whole batch
+  // before any row is ingested (the per-access loop would have ingested the
+  // prefix); successful batches are byte-identical either way.
+  for (const double w : weights) {
+    GEORED_ENSURE(std::isfinite(w) && w >= 0.0,
+                  "access weight must be finite and non-negative");
+  }
+  const std::size_t dim = coords.dim();
+  cache_valid_ = false;
+  total_count_ += n;
+  std::size_t i = 0;
+  if (store_.empty()) {
+    store_.append_singleton(coords.row(0), dim, weights.empty() ? 1.0 : weights[0]);
+    i = 1;
+  }
+  GEORED_ENSURE(dim == store_.dim(), "dimension mismatch in add");
+#if defined(__x86_64__)
+  if (detail::kHasAvx2) {
+    ingest_batch_avx2(coords, weights, i);
+    return;
+  }
+#endif
+  // Batch-only advantage over the per-access API: upcoming rows are known,
+  // so their cache lines can be requested while the current row is being
+  // ingested. Distance 8 covers the ingest latency of one row at typical
+  // dimensions; prefetch is a hint and never changes results.
+  constexpr std::size_t kPrefetchAhead = 8;
+  for (; i < n; ++i) {
+    if (i + kPrefetchAhead < n) {
+      __builtin_prefetch(coords.row(i + kPrefetchAhead));
+    }
+    ingest_row(coords.row(i), dim, weights.empty() ? 1.0 : weights[i]);
+  }
+}
+
+#if defined(__x86_64__)
+__attribute__((target("avx2"), flatten)) void MicroClusterSummarizer::ingest_batch_avx2(
+    const PointSet& coords, std::span<const double> weights, std::size_t begin) {
+  // Same operations as the baseline add_batch loop; the target attribute is
+  // the only semantic difference (see the header comment), and `flatten`
+  // forces the fused absorb kernel to inline here — the inliner's cost
+  // model otherwise leaves ingest_row as an opaque per-access call. The
+  // scalar arithmetic inside merely picks up VEX encodings — the attribute
+  // enables AVX2 only, never FMA, so no contraction can change a result.
+  const std::size_t n = coords.size();
+  const std::size_t dim = coords.dim();
+  constexpr std::size_t kPrefetchAhead = 8;
+  for (std::size_t i = begin; i < n; ++i) {
+    if (i + kPrefetchAhead < n) {
+      __builtin_prefetch(coords.row(i + kPrefetchAhead));
+    }
+    const double weight = weights.empty() ? 1.0 : weights[i];
+    // ingest_row's body, spelled out so every callee is an inline candidate
+    // in this AVX2 context.
+    if (store_.try_absorb(coords.row(i), weight)) continue;
+    store_.append_singleton(coords.row(i), dim, weight);
+    if (store_.size() > config_.max_clusters) {
+      const auto [best_a, best_b] = store_.closest_pair();
+      store_.merge_rows(best_a, best_b);
+    }
+    GEORED_DCHECK(store_.size() <= config_.max_clusters,
+                  "summarizer exceeded its micro-cluster budget after add");
+  }
+}
+#endif
+
+void MicroClusterSummarizer::add_row(const double* coords, std::size_t dim, double weight) {
+  GEORED_ENSURE(std::isfinite(weight) && weight >= 0.0,
+                "access weight must be finite and non-negative");
+  cache_valid_ = false;
   ++total_count_;
-  if (clusters_.empty()) {
-    clusters_.emplace_back(coords, weight);
-    centroids_.push_back(clusters_.back().centroid());
+  if (store_.empty()) {
+    store_.append_singleton(coords, dim, weight);
     return;
   }
+  GEORED_ENSURE(dim == store_.dim(), "dimension mismatch in add");
+  ingest_row(coords, dim, weight);
+}
 
-  double dist_sq = 0.0;
-  const std::size_t nearest = nearest_cluster(coords, &dist_sq);
-  MicroCluster& candidate = clusters_[nearest];
-  const double distance = std::sqrt(dist_sq);
-  // The paper's rule: absorb when the client is within the cluster's
-  // standard deviation; the configurable floor keeps singleton clusters
-  // (stddev 0) from rejecting everything.
-  const double radius =
-      std::max(config_.min_absorb_radius, config_.radius_factor * candidate.rms_stddev());
-  if (distance <= radius) {
-    candidate.absorb(coords, weight);
-    centroids_.assign_row(nearest, candidate.centroid());
-    return;
-  }
+void MicroClusterSummarizer::ingest_row(const double* coords, std::size_t dim, double weight) {
+  // The paper's rule, fused: absorb when the client is within the nearest
+  // cluster's cached radius (max of the configured floor and the scaled
+  // stddev), otherwise spawn and merge the closest pair over budget.
+  if (store_.try_absorb(coords, weight)) return;
 
-  clusters_.emplace_back(coords, weight);
-  centroids_.push_back(clusters_.back().centroid());
-  if (clusters_.size() > config_.max_clusters) {
-    merge_closest_pair();
+  store_.append_singleton(coords, dim, weight);
+  if (store_.size() > config_.max_clusters) {
+    const auto [best_a, best_b] = store_.closest_pair();
+    store_.merge_rows(best_a, best_b);
   }
-  GEORED_DCHECK(clusters_.size() <= config_.max_clusters,
+  GEORED_DCHECK(store_.size() <= config_.max_clusters,
                 "summarizer exceeded its micro-cluster budget after add");
 }
 
 void MicroClusterSummarizer::merge_cluster(const MicroCluster& cluster) {
   if (cluster.count() == 0) return;
+  cache_valid_ = false;
   total_count_ += cluster.count();
-  clusters_.push_back(cluster);
-  centroids_.push_back(cluster.centroid());
-  if (clusters_.size() > config_.max_clusters) {
-    merge_closest_pair();
+  store_.append_moments(cluster);
+  if (store_.size() > config_.max_clusters) {
+    const auto [best_a, best_b] = store_.closest_pair();
+    store_.merge_rows(best_a, best_b);
   }
-  GEORED_DCHECK(clusters_.size() <= config_.max_clusters,
+  GEORED_DCHECK(store_.size() <= config_.max_clusters,
                 "summarizer exceeded its micro-cluster budget after merge_cluster");
 }
 
-std::size_t MicroClusterSummarizer::nearest_cluster(const Point& coords,
-                                                    double* dist_sq) const {
-  GEORED_CHECK(!clusters_.empty(), "nearest_cluster on empty summarizer");
-  GEORED_DCHECK(centroids_.size() == clusters_.size(),
-                "summarizer centroid cache out of sync");
-  return centroids_.nearest_of(coords, dist_sq);
-}
-
-void MicroClusterSummarizer::merge_closest_pair() {
-  GEORED_CHECK(clusters_.size() >= 2, "merge requires at least two clusters");
-  const auto [best_a, best_b] = centroids_.pairwise_min_distance();
-  clusters_[best_a].merge(clusters_[best_b]);
-  centroids_.assign_row(best_a, clusters_[best_a].centroid());
-  clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(best_b));
-  centroids_.erase_row(best_b);
+const std::vector<MicroCluster>& MicroClusterSummarizer::clusters() const {
+  if (!cache_valid_) {
+    clusters_cache_.clear();
+    const std::size_t n = store_.size();
+    for (std::size_t i = 0; i < n; ++i) clusters_cache_.push_back(store_.cluster(i));
+    cache_valid_ = true;
+  }
+  return clusters_cache_;
 }
 
 void MicroClusterSummarizer::decay() {
-  std::vector<MicroCluster> survivors;
-  survivors.reserve(clusters_.size());
-  for (auto& cluster : clusters_) {
-    cluster.scale(config_.epoch_decay);
-    if (cluster.count() > 0) survivors.push_back(cluster);
-  }
-  clusters_ = std::move(survivors);
-  rebuild_centroids();
+  cache_valid_ = false;
+  store_.scale_all(config_.epoch_decay);
 }
 
 void MicroClusterSummarizer::clear() {
-  clusters_.clear();
-  centroids_ = PointSet();  // fresh set so a new stream may change dimension
+  store_.clear();
+  clusters_cache_.clear();
+  cache_valid_ = false;
   total_count_ = 0;
-}
-
-void MicroClusterSummarizer::rebuild_centroids() {
-  centroids_ = PointSet();
-  for (const auto& cluster : clusters_) centroids_.push_back(cluster.centroid());
 }
 
 void write_clusters(ByteWriter& writer, const std::vector<MicroCluster>& clusters) {
@@ -112,7 +167,7 @@ std::size_t serialized_size(const std::vector<MicroCluster>& clusters) {
 }
 
 void MicroClusterSummarizer::serialize(ByteWriter& writer) const {
-  write_clusters(writer, clusters_);
+  write_clusters(writer, clusters());
 }
 
 std::vector<MicroCluster> MicroClusterSummarizer::deserialize_clusters(ByteReader& reader) {

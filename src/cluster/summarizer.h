@@ -6,12 +6,21 @@
 // standard deviation it is absorbed, otherwise a new cluster is created and,
 // if the budget m is exceeded, the two closest clusters are merged.
 // Memory is O(m * dim) regardless of how many accesses are summarized.
+//
+// Storage is the flat MomentStore (cluster/moment_store.h): moments live in
+// contiguous per-field buffers with a cached absorb radius per cluster, so
+// the per-access hot path is one fused nearest+radius kernel with no
+// allocation. Results are bit-identical to the retained scalar reference
+// (cluster/summarizer_scalar.h); the IngestEquivalence suite compares
+// serialized bytes.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cluster/microcluster.h"
+#include "cluster/moment_store.h"
 #include "common/point.h"
 #include "common/point_set.h"
 #include "common/serialize.h"
@@ -47,15 +56,25 @@ class MicroClusterSummarizer {
   explicit MicroClusterSummarizer(const SummarizerConfig& config = {});
 
   /// Records one access by a client at `coords` transferring `weight` units
-  /// of data (e.g. bytes, normalized).
+  /// of data (e.g. bytes, normalized). Weights must be finite and
+  /// non-negative.
   void add(const Point& coords, double weight = 1.0);
+
+  /// Records a batch of accesses: row i of `coords` with weights[i] (or 1.0
+  /// for every row when `weights` is empty). Equivalent to calling add()
+  /// per row in order — batching only amortizes the call overhead, it never
+  /// changes the result. Weights are validated before any row is ingested,
+  /// so a non-finite or negative weight rejects the whole batch.
+  void add_batch(const PointSet& coords, std::span<const double> weights = {});
 
   /// Inserts a whole micro-cluster (e.g. one inherited from a replica that
   /// is being retired). The cluster is kept intact; if the budget m is
   /// exceeded the two closest clusters are merged, as in add().
   void merge_cluster(const MicroCluster& cluster);
 
-  const std::vector<MicroCluster>& clusters() const { return clusters_; }
+  /// Materialized view of the current micro-clusters. Rebuilt lazily from
+  /// the flat store after mutations; moments are copied bit for bit.
+  const std::vector<MicroCluster>& clusters() const;
 
   /// Total accesses summarized since construction or the last clear().
   std::uint64_t total_count() const { return total_count_; }
@@ -71,17 +90,32 @@ class MicroClusterSummarizer {
   void serialize(ByteWriter& writer) const;
   static std::vector<MicroCluster> deserialize_clusters(ByteReader& reader);
 
+  /// The underlying flat moment store — exposed so tests can pin the radius
+  /// cache invalidation contract.
+  const MomentStore& store() const { return store_; }
+
  private:
-  std::size_t nearest_cluster(const Point& coords, double* dist_sq = nullptr) const;
-  void merge_closest_pair();
-  void rebuild_centroids();
+  void add_row(const double* coords, std::size_t dim, double weight);
+  /// The absorb-or-spawn core shared by add_row and add_batch, after the
+  /// caller has validated the weight and handled the empty-store bootstrap.
+  void ingest_row(const double* coords, std::size_t dim, double weight);
+#if defined(__x86_64__)
+  /// ingest_row over rows [begin, n) of a batch, compiled as one AVX2
+  /// function. GCC cannot inline a target("avx2") callee into a baseline
+  /// caller, so dispatching per access would pay two opaque calls (nearest
+  /// scan + absorb tail) per row; hoisting the target attribute to the
+  /// whole batch loop lets the fused kernel inline flat. Same operations,
+  /// same results — the equivalence suites cover this path on AVX2 hosts.
+  __attribute__((target("avx2"))) void ingest_batch_avx2(const PointSet& coords,
+                                                         std::span<const double> weights,
+                                                         std::size_t begin);
+#endif
 
   SummarizerConfig config_;
-  std::vector<MicroCluster> clusters_;
-  /// Contiguous cache of clusters_[i].centroid(), kept in sync by every
-  /// mutation so the per-access nearest/merge scans run on one flat buffer
-  /// instead of recomputing sum/count Points per cluster per access.
-  PointSet centroids_;
+  MomentStore store_;
+  /// Lazily materialized clusters() view; invalidated by every mutation.
+  mutable std::vector<MicroCluster> clusters_cache_;
+  mutable bool cache_valid_ = false;
   std::uint64_t total_count_ = 0;
 };
 

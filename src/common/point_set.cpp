@@ -29,6 +29,25 @@ void PointSet::push_back(const Point& p) {
   ++n_;
 }
 
+void PointSet::push_back_row(const double* values, std::size_t dim) {
+  if (n_ == 0 && dim_ == 0) {
+    dim_ = dim;
+    if (pending_reserve_rows_ > 0 && dim_ > 0) {
+      data_.reserve(pending_reserve_rows_ * dim_);
+    }
+    pending_reserve_rows_ = 0;
+  }
+  GEORED_ENSURE(dim == dim_, "PointSet rows must share one dimension");
+  data_.insert(data_.end(), values, values + dim);
+  ++n_;
+}
+
+void PointSet::truncate(std::size_t n) {
+  GEORED_ENSURE(n <= size(), "PointSet truncate may only shrink");
+  data_.resize(n * dim_);
+  n_ = n;
+}
+
 void PointSet::assign_row(std::size_t i, const Point& p) {
   GEORED_ENSURE(i < size(), "PointSet row index out of range");
   GEORED_ENSURE(p.dim() == dim_, "PointSet rows must share one dimension");
@@ -47,27 +66,6 @@ Point PointSet::point(std::size_t i) const {
   GEORED_ENSURE(i < size(), "PointSet row index out of range");
   const double* r = row(i);
   return Point(std::vector<double>(r, r + dim_));
-}
-
-std::size_t PointSet::nearest_of(const double* query, double* best_dist_sq) const {
-  GEORED_ENSURE(!empty(), "nearest_of on an empty PointSet");
-  std::size_t best = 0;
-  double best_dist = std::numeric_limits<double>::infinity();
-  const std::size_t n = size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const double dist = distance_squared(i, query);
-    if (dist < best_dist) {
-      best_dist = dist;
-      best = i;
-    }
-  }
-  if (best_dist_sq != nullptr) *best_dist_sq = best_dist;
-  return best;
-}
-
-std::size_t PointSet::nearest_of(const Point& query, double* best_dist_sq) const {
-  GEORED_ENSURE(query.dim() == dim_, "query dimension mismatch in nearest_of");
-  return nearest_of(query.values().data(), best_dist_sq);
 }
 
 void PointSet::distance_row(const double* query, double* out) const {

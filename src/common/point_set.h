@@ -19,9 +19,11 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <utility>
 #include <vector>
 
+#include "common/ensure.h"
 #include "common/point.h"
 
 namespace geored {
@@ -60,6 +62,15 @@ class PointSet {
   /// construction) adopts the dimension of the first point.
   void push_back(const Point& p);
 
+  /// Appends a row from `dim` contiguous components — the allocation-free
+  /// form the batched ingestion paths use. Same dimension-adoption rules as
+  /// push_back(Point).
+  void push_back_row(const double* values, std::size_t dim);
+
+  /// Drops every row past the first `n` (n <= size()); capacity is kept so
+  /// compaction passes can rewrite in place.
+  void truncate(std::size_t n);
+
   /// Overwrites row `i` with `p` (matching dimension required).
   void assign_row(std::size_t i, const Point& p);
 
@@ -88,9 +99,60 @@ class PointSet {
   /// Index of the row nearest to `query` (squared-distance argmin, first
   /// winner on ties — the same scan as the scalar nearest-centroid loops).
   /// Requires a non-empty set. If `best_dist_sq` is non-null it receives
-  /// the winning squared distance.
-  std::size_t nearest_of(const double* query, double* best_dist_sq = nullptr) const;
-  std::size_t nearest_of(const Point& query, double* best_dist_sq = nullptr) const;
+  /// the winning squared distance. Inline: this scan is the shared inner
+  /// kernel of every per-access and per-point loop in the codebase.
+  std::size_t nearest_of(const double* query, double* best_dist_sq = nullptr) const {
+    GEORED_ENSURE(!empty(), "nearest_of on an empty PointSet");
+    std::size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dist = distance_squared(i, query);
+      // Branchless select (same strict-`<` first-winner comparison, so the
+      // result — including the NaN-keeps-current behavior — is identical):
+      // the winning row is effectively random across calls, and a
+      // conditional branch here mispredicts its way through the scan while
+      // serializing the per-row distance chains behind it.
+      const bool better = dist < best_dist;
+      best = better ? i : best;
+      best_dist = better ? dist : best_dist;
+    }
+    if (best_dist_sq != nullptr) *best_dist_sq = best_dist;
+    return best;
+  }
+  std::size_t nearest_of(const Point& query, double* best_dist_sq = nullptr) const {
+    GEORED_ENSURE(query.dim() == dim_, "query dimension mismatch in nearest_of");
+    return nearest_of(query.values().data(), best_dist_sq);
+  }
+
+  /// Like nearest_of, additionally reporting the second-best squared
+  /// distance (infinity when size() == 1) — the bound the accelerated
+  /// k-means maintains. Best-index tracking is the identical strict-`<`
+  /// first-winner scan as nearest_of, so the returned index and
+  /// `best_dist_sq` match it bit for bit.
+  std::size_t nearest2_of(const double* query, double* best_dist_sq,
+                          double* second_dist_sq) const {
+    GEORED_ENSURE(!empty(), "nearest2_of on an empty PointSet");
+    std::size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    double second_dist = std::numeric_limits<double>::infinity();
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dist = distance_squared(i, query);
+      // Branchless form of: if dist < best, demote best to second and take
+      // the row; else if dist < second, it becomes the runner-up. The
+      // comparisons are the same strict `<` as the branchy original (NaN
+      // distances change nothing), only the selects are unconditional.
+      const bool better = dist < best_dist;
+      const bool runner_up = dist < second_dist;
+      second_dist = better ? best_dist : (runner_up ? dist : second_dist);
+      best_dist = better ? dist : best_dist;
+      best = better ? i : best;
+    }
+    if (best_dist_sq != nullptr) *best_dist_sq = best_dist;
+    if (second_dist_sq != nullptr) *second_dist_sq = second_dist;
+    return best;
+  }
 
   /// Fills out[i] with the Euclidean distance from `query` to row i
   /// (`out` must hold size() doubles).

@@ -8,7 +8,11 @@
 
 #include "common/ensure.h"
 #include "common/random.h"
+#include "core/epoch_pipeline.h"
 #include "placement/evaluate.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "workload/access_stream.h"
 
 namespace geored::core {
 
@@ -118,23 +122,49 @@ std::vector<double> run_once(const Environment& env, const ExperimentConfig& con
       initial_placement.size(), cluster::MicroClusterSummarizer(summarizer_config));
 
   // Interleave accesses across clients so cluster formation sees arrivals in
-  // a realistic order rather than one client at a time.
-  std::vector<std::uint32_t> access_stream;
-  for (std::size_t u = 0; u < clients.size(); ++u) {
-    for (std::uint64_t a = 0; a < clients[u].access_count; ++a) {
-      access_stream.push_back(static_cast<std::uint32_t>(u));
-    }
+  // a realistic order rather than one client at a time, then regroup the
+  // stream into one contiguous batch per replica. Each summarizer ingests
+  // its own subsequence in stream order, so the batched path reproduces the
+  // per-access loop byte for byte.
+  std::vector<std::uint64_t> access_counts;
+  std::vector<Point> client_points;
+  access_counts.reserve(clients.size());
+  client_points.reserve(clients.size());
+  for (const auto& client : clients) {
+    access_counts.push_back(client.access_count);
+    client_points.push_back(client.coords);
   }
-  for (std::size_t i = access_stream.size(); i > 1; --i) {
-    std::swap(access_stream[i - 1], access_stream[rng.below(i)]);
-  }
-  for (const auto u : access_stream) {
-    summarizers[closest_initial[u]].add(clients[u].coords, 1.0);
+  const auto access_stream = wl::interleave_access_stream(access_counts, rng);
+  const auto batches = wl::batch_by_server(access_stream, closest_initial, client_points,
+                                           initial_placement.size());
+  // Sequential per-replica ingest: run_experiment already parallelizes
+  // across runs with raw threads, so nesting pool work here is off-limits.
+  for (std::size_t r = 0; r < batches.size(); ++r) {
+    summarizers[r].add_batch(batches[r].coords, batches[r].weights);
   }
 
+  // Collect the per-replica summaries through the configured collection
+  // path. "direct" concatenates in source order — byte-identical to the
+  // historical manual flatten; the protocol collectors run over a per-run
+  // simulated network and merge along the way.
+  std::vector<SummarySource> sources;
+  sources.reserve(initial_placement.size());
+  for (std::size_t r = 0; r < initial_placement.size(); ++r) {
+    sources.push_back({initial_placement[r], summarizers[r].clusters()});
+  }
   std::vector<cluster::MicroCluster> summaries;
-  for (const auto& summarizer : summarizers) {
-    for (const auto& micro : summarizer.clusters()) summaries.push_back(micro);
+  if (config.collector == "direct") {
+    summaries = DirectCollector().collect(sources, {candidates, k, seed}).summaries;
+  } else {
+    sim::Simulator simulator;
+    sim::Network network(simulator, topology);
+    CollectorConfig collector_config;
+    collector_config.simulator = &simulator;
+    collector_config.network = &network;
+    collector_config.aggregation_root = initial_placement.front();
+    summaries = make_collector(config.collector, collector_config)
+                    ->collect(sources, {candidates, k, seed})
+                    .summaries;
   }
 
   // 4. Every strategy proposes from the information it may see; proposals
@@ -165,6 +195,13 @@ std::vector<double> run_once(const Environment& env, const ExperimentConfig& con
 ExperimentResult run_experiment(const Environment& env, const ExperimentConfig& config) {
   GEORED_ENSURE(config.runs >= 1, "experiment needs at least one run");
   GEORED_ENSURE(!config.strategies.empty(), "experiment needs at least one strategy");
+  // Validate the collector name up front: an unknown name must throw here,
+  // on the caller's thread, not inside a worker.
+  {
+    const auto names = collector_names();
+    GEORED_ENSURE(std::find(names.begin(), names.end(), config.collector) != names.end(),
+                  "unknown collector '" + config.collector + "'");
+  }
   ExperimentResult result;
   result.outcomes.resize(config.strategies.size());
   for (std::size_t s = 0; s < config.strategies.size(); ++s) {

@@ -70,6 +70,15 @@ struct ExperimentConfig {
   /// Number of replicas a client must reach (1 = the paper's model).
   std::size_t quorum = 1;
 
+  /// How observation-phase summaries reach the placement decision point:
+  /// "direct" (in-process concatenation, the paper's central server),
+  /// "hierarchical" (two-level aggregation tree), or "decentralized"
+  /// (all-to-all agreement). See core::collector_names(). Non-direct
+  /// collectors run over a per-run simulated network, so their merged
+  /// summaries — and thus the summary-driven strategies — may differ; that
+  /// comparison is the point of the sweep.
+  std::string collector = "direct";
+
   /// Worker threads running independent runs concurrently. Results are
   /// bit-identical for any thread count (run r always uses base_seed + r
   /// and results are collected by run index). 0 = hardware concurrency.

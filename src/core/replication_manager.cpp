@@ -1,6 +1,7 @@
 #include "core/replication_manager.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <string>
 #include <utility>
@@ -8,6 +9,7 @@
 #include "common/ensure.h"
 #include "common/random.h"
 #include "common/serialize.h"
+#include "common/thread_pool.h"
 #include "placement/evaluate.h"
 #include "placement/random_placement.h"
 
@@ -41,6 +43,7 @@ ReplicationManager::ReplicationManager(std::vector<place::CandidateInfo> candida
                 "degree bounds must satisfy 1 <= min <= max");
   GEORED_ENSURE(pipeline_.collector && pipeline_.proposer && pipeline_.gate && pipeline_.adopter,
                 "every epoch pipeline stage must be set");
+  GEORED_ENSURE(config_.ingest_batch_grain >= 1, "ingest_batch_grain must be >= 1");
   degree_ = std::clamp(degree_, config_.min_degree, config_.max_degree);
 
   place::PlacementInput input;
@@ -79,12 +82,72 @@ void ReplicationManager::record_access(topo::NodeId replica, const Point& client
                                        double data_weight) {
   const auto it = summarizers_.find(replica);
   GEORED_ENSURE(it != summarizers_.end(), "node does not currently hold a replica");
-  it->second.add(client_coords, data_weight);
+  GEORED_ENSURE(std::isfinite(data_weight) && data_weight >= 0.0,
+                "access weight must be finite and non-negative");
+  PendingBatch& batch = pending_[replica];
+  batch.coords.push_back(client_coords);
+  batch.weights.push_back(data_weight);
   ++epoch_accesses_;
+  if (batch.coords.size() >= config_.ingest_batch_grain) {
+    it->second.add_batch(batch.coords, batch.weights);
+    batch.coords = PointSet();
+    batch.weights.clear();
+  }
+}
+
+void ReplicationManager::record_access_batch(topo::NodeId replica, const PointSet& client_coords,
+                                             std::span<const double> data_weights) {
+  const auto it = summarizers_.find(replica);
+  GEORED_ENSURE(it != summarizers_.end(), "node does not currently hold a replica");
+  GEORED_ENSURE(data_weights.empty() || data_weights.size() == client_coords.size(),
+                "access weight count must match coordinate row count");
+  for (const double weight : data_weights) {
+    GEORED_ENSURE(std::isfinite(weight) && weight >= 0.0,
+                  "access weight must be finite and non-negative");
+  }
+  const std::size_t n = client_coords.size();
+  PendingBatch& batch = pending_[replica];
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.coords.push_back_row(client_coords.row(i), client_coords.dim());
+    batch.weights.push_back(data_weights.empty() ? 1.0 : data_weights[i]);
+  }
+  epoch_accesses_ += n;
+  if (batch.coords.size() >= config_.ingest_batch_grain) {
+    it->second.add_batch(batch.coords, batch.weights);
+    batch.coords = PointSet();
+    batch.weights.clear();
+  }
+}
+
+void ReplicationManager::flush_ingest() const {
+  // Gather the replicas with staged accesses in map (node-id) order so the
+  // work list — and thus which summarizer each parallel chunk touches — is
+  // deterministic. Each replica's stream ingests sequentially in recorded
+  // order; replicas are independent, so any thread count yields bytewise
+  // the same summaries.
+  std::vector<std::pair<PendingBatch*, cluster::MicroClusterSummarizer*>> work;
+  work.reserve(pending_.size());
+  for (auto& [node, batch] : pending_) {
+    if (batch.coords.empty()) continue;
+    work.push_back({&batch, &summarizers_.at(node)});
+  }
+  if (work.empty()) return;
+  parallel_for(
+      work.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          auto& [batch, summarizer] = work[i];
+          summarizer->add_batch(batch->coords, batch->weights);
+          batch->coords = PointSet();
+          batch->weights.clear();
+        }
+      },
+      /*min_parallel=*/2);
 }
 
 const std::vector<cluster::MicroCluster>& ReplicationManager::summary_of(
     topo::NodeId replica) const {
+  flush_ingest();
   const auto it = summarizers_.find(replica);
   GEORED_ENSURE(it != summarizers_.end(), "node does not currently hold a replica");
   return it->second.clusters();
@@ -132,6 +195,7 @@ std::vector<double> ReplicationManager::delay_by_degree_curve(std::size_t min_de
                                                               std::size_t max_degree) const {
   GEORED_ENSURE(min_degree >= 1 && min_degree <= max_degree,
                 "degree bounds must satisfy 1 <= min <= max");
+  flush_ingest();
   std::vector<cluster::MicroCluster> summaries;
   double weight = 0.0;
   for (const auto& [node, summarizer] : summarizers_) {
@@ -167,6 +231,7 @@ std::vector<double> ReplicationManager::delay_by_degree_curve(std::size_t min_de
 }
 
 void ReplicationManager::save(ByteWriter& writer) const {
+  flush_ingest();
   writer.write_u32(kCheckpointMagic);
   writer.write_u32(kCheckpointVersion);
   writer.write_u64(epoch_index_);
@@ -185,6 +250,10 @@ void ReplicationManager::save(ByteWriter& writer) const {
 }
 
 void ReplicationManager::restore(ByteReader& reader) {
+  // Drain staged accesses into the summarizers being replaced, matching the
+  // unbatched semantics where every recorded access had been ingested by
+  // the time restore ran.
+  flush_ingest();
   const std::uint32_t magic = reader.read_u32();
   GEORED_ENSURE(magic == kCheckpointMagic,
                 "not a replication-manager checkpoint (bad magic)");
@@ -228,6 +297,7 @@ void ReplicationManager::restore(ByteReader& reader) {
 }
 
 EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded) {
+  flush_ingest();
   EpochReport report;
   report.old_placement = placement_;
   report.epoch_accesses = epoch_accesses_;

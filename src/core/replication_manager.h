@@ -19,10 +19,12 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cluster/summarizer.h"
+#include "common/point_set.h"
 #include "common/serialize.h"
 #include "core/epoch_pipeline.h"
 #include "core/migration.h"
@@ -67,6 +69,12 @@ struct ManagerConfig {
   double shrink_accesses_per_replica = 1000.0;
   std::size_t min_degree = 1;
   std::size_t max_degree = 7;
+
+  /// Accesses staged per replica before the summarizer ingests them as one
+  /// contiguous batch. Staging is invisible to callers — every read path
+  /// (run_epoch, summary_of, save, the degree curve) flushes first, so
+  /// observable summaries are independent of the grain. 1 = unbatched.
+  std::size_t ingest_batch_grain = 256;
 };
 
 /// Outcome of one placement epoch.
@@ -115,8 +123,24 @@ class ReplicationManager {
   /// Records an access served by `replica` (which must currently hold a
   /// replica) for a client at `client_coords`. Use this form when the caller
   /// did its own replica selection (e.g. the event-driven simulator).
+  /// Accesses are staged and ingested in batches of
+  /// ManagerConfig::ingest_batch_grain; results are identical to immediate
+  /// ingestion (see flush_ingest).
   void record_access(topo::NodeId replica, const Point& client_coords,
                      double data_weight = 1.0);
+
+  /// Records a whole chunk of accesses served by `replica`: row i of
+  /// `client_coords` with data_weights[i] (or 1.0 per row when
+  /// `data_weights` is empty). Equivalent to record_access per row in
+  /// order; the batch form skips the per-access staging overhead.
+  void record_access_batch(topo::NodeId replica, const PointSet& client_coords,
+                           std::span<const double> data_weights = {});
+
+  /// Ingests every staged access into its replica's summarizer (in recorded
+  /// order per replica; replicas in parallel on the deterministic thread
+  /// pool). Called automatically by every state-reading entry point, so it
+  /// only needs to be called directly when benchmarking ingestion itself.
+  void flush_ingest() const;
 
   /// Micro-clusters currently held for `replica` (observability / tests).
   const std::vector<cluster::MicroCluster>& summary_of(topo::NodeId replica) const;
@@ -162,6 +186,12 @@ class ReplicationManager {
   void restore(ByteReader& reader);
 
  private:
+  /// Staged accesses awaiting ingestion into one replica's summarizer.
+  struct PendingBatch {
+    PointSet coords;
+    std::vector<double> weights;
+  };
+
   double estimate_average_delay(const place::Placement& placement,
                                 const std::vector<cluster::MicroCluster>& summaries) const;
   const place::CandidateInfo& candidate_info(topo::NodeId node) const;
@@ -173,7 +203,10 @@ class ReplicationManager {
   std::uint64_t epoch_index_ = 0;
   std::size_t degree_;
   place::Placement placement_;
-  std::map<topo::NodeId, cluster::MicroClusterSummarizer> summarizers_;
+  /// mutable with pending_: staging is a cache layout, not observable
+  /// state — const readers flush it so summaries never depend on the grain.
+  mutable std::map<topo::NodeId, cluster::MicroClusterSummarizer> summarizers_;
+  mutable std::map<topo::NodeId, PendingBatch> pending_;
   EpochPipeline pipeline_;
   std::uint64_t epoch_accesses_ = 0;
 };

@@ -38,8 +38,14 @@ ReplicationSystem::ReplicationSystem(sim::Simulator& simulator, sim::Network& ne
 void ReplicationSystem::schedule_failure(topo::NodeId node, double start_ms, double end_ms) {
   GEORED_ENSURE(!started_, "failures must be scheduled before run()");
   GEORED_ENSURE(end_ms >= start_ms, "failure interval must be ordered");
-  simulator_.schedule_at(start_ms, [this, node] { failed_.insert(node); });
-  simulator_.schedule_at(end_ms, [this, node] { failed_.erase(node); });
+  simulator_.schedule_at(start_ms, [this, node] {
+    failed_.insert(node);
+    routing_dirty_ = true;
+  });
+  simulator_.schedule_at(end_ms, [this, node] {
+    failed_.erase(node);
+    routing_dirty_ = true;
+  });
 }
 
 void ReplicationSystem::run(double duration_ms) {
@@ -61,35 +67,49 @@ void ReplicationSystem::schedule_client(std::size_t client_index, double duratio
   }
 }
 
+void ReplicationSystem::refresh_routing_cache() {
+  live_nodes_.clear();
+  live_coords_ = PointSet();
+  for (const auto node : active_placement_) {
+    if (!is_up(node)) continue;
+    const auto it =
+        std::find_if(candidates_.begin(), candidates_.end(),
+                     [node](const place::CandidateInfo& c) { return c.node == node; });
+    GEORED_CHECK(it != candidates_.end(), "placement node missing from candidates");
+    live_nodes_.push_back(node);
+    live_coords_.push_back(it->coords);
+  }
+  routing_dirty_ = false;
+}
+
 void ReplicationSystem::on_access(std::size_t client_index, double started_at) {
   const topo::NodeId client = clients_[client_index];
   const Point& coords = client_coords_[client_index];
 
   // Pick the replica: lowest true RTT (oracle) or lowest predicted RTT.
-  topo::NodeId replica = 0;
-  double best = std::numeric_limits<double>::infinity();
-  bool found = false;
-  for (const auto node : active_placement_) {
-    if (!is_up(node)) continue;
-    double metric;
-    if (config_.selection == ReplicaSelection::kTrueClosest) {
-      metric = network_.rtt_ms(client, node);
-    } else {
-      const auto it =
-          std::find_if(candidates_.begin(), candidates_.end(),
-                       [node](const place::CandidateInfo& c) { return c.node == node; });
-      GEORED_CHECK(it != candidates_.end(), "placement node missing from candidates");
-      metric = coords.distance_to(it->coords);
-    }
-    if (metric < best) {
-      best = metric;
-      replica = node;
-      found = true;
-    }
-  }
-  if (!found) {
+  // Routing runs on the cached live-replica rows; the strict-< first-winner
+  // choice over squared coordinate distances equals the historical choice
+  // over sqrt distances (sqrt is strictly increasing), so the cache only
+  // moves the candidate lookup off the per-access path.
+  if (routing_dirty_) refresh_routing_cache();
+  if (live_nodes_.empty()) {
     ++failed_accesses_;
     return;
+  }
+  topo::NodeId replica = 0;
+  if (config_.selection == ReplicaSelection::kTrueClosest) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_index = 0;
+    for (std::size_t i = 0; i < live_nodes_.size(); ++i) {
+      const double metric = network_.rtt_ms(client, live_nodes_[i]);
+      if (metric < best) {
+        best = metric;
+        best_index = i;
+      }
+    }
+    replica = live_nodes_[best_index];
+  } else {
+    replica = live_nodes_[live_coords_.nearest_of(coords)];
   }
 
   const double data_weight = workload_.data_per_access(client_index);
@@ -168,10 +188,16 @@ void ReplicationSystem::run_epoch_at_coordinator() {
       ++*transfers;
       network_.send(source, node, config_.object_bytes, sim::TrafficClass::kMigration,
                     [this, transfers, next] {
-                      if (--*transfers == 0) active_placement_ = next;
+                      if (--*transfers == 0) {
+                        active_placement_ = next;
+                        routing_dirty_ = true;
+                      }
                     });
     }
-    if (*transfers == 0) active_placement_ = next;  // pure shrink, no copies
+    if (*transfers == 0) {  // pure shrink, no copies
+      active_placement_ = next;
+      routing_dirty_ = true;
+    }
   };
 
   if (live.empty()) {

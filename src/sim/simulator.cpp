@@ -1,5 +1,8 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/ensure.h"
 
 namespace geored::sim {
@@ -7,7 +10,8 @@ namespace geored::sim {
 void Simulator::schedule_at(SimTime t, std::function<void()> fn) {
   GEORED_ENSURE(t >= now_, "cannot schedule an event in the past");
   GEORED_ENSURE(static_cast<bool>(fn), "cannot schedule a null event");
-  queue_.push({t, next_seq_++, std::move(fn)});
+  queue_.push_back({t, next_seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 void Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
@@ -17,9 +21,13 @@ void Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  // Move the event out before popping so the callback may schedule freely.
-  Event event = queue_.top();
-  queue_.pop();
+  // pop_heap shifts the winning event to the back, from where it is *moved*
+  // out before erasure — per-event std::function copies (heap-allocating for
+  // any capturing callback) were the queue's dominant cost. The event must
+  // leave the queue before it runs so the callback may schedule freely.
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event event = std::move(queue_.back());
+  queue_.pop_back();
   now_ = event.time;
   event.fn();
   return true;
@@ -36,7 +44,7 @@ std::size_t Simulator::run_until(SimTime t) {
   GEORED_ENSURE(t >= now_, "cannot run to a time in the past");
   stopped_ = false;
   std::size_t processed = 0;
-  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+  while (!stopped_ && !queue_.empty() && queue_.front().time <= t) {
     step();
     ++processed;
   }

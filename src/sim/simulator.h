@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace geored::sim {
@@ -55,7 +54,12 @@ class Simulator {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Binary heap managed with std::push_heap/pop_heap rather than
+  /// std::priority_queue: pop_heap moves the winning event to the back, so
+  /// step() can move its std::function out instead of copying it (top() only
+  /// offers const access). The (time, seq) comparator makes heap order
+  /// deterministic regardless of internal layout.
+  std::vector<Event> queue_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   bool stopped_ = false;

@@ -88,7 +88,7 @@ void ReplicatedKvStore::put(topo::NodeId client, const Point& client_coords, Obj
   GEORED_ENSURE(static_cast<bool>(done), "put requires a completion callback");
   const std::uint32_t group = group_of(id);
   auto& manager = fleet_->group(group);
-  const place::Placement placement = manager.placement();
+  const place::Placement& placement = manager.placement();
 
   // Hybrid logical clock: advance the writer's clock past both everything
   // it has observed and the current physical time (microseconds of virtual
@@ -103,14 +103,13 @@ void ReplicatedKvStore::put(topo::NodeId client, const Point& client_coords, Obj
   value.data = std::move(data);
 
   // The user population summary sees the write once, at the replica the
-  // client would naturally be served by.
+  // client would naturally be served by. The manager stages recorded
+  // accesses and ingests them in batches at epoch/read boundaries, so the
+  // per-put cost here is one append, not a summarizer update.
   const auto nearest = closest_replicas(placement, client_coords, 1);
   if (!nearest.empty()) {
-    const auto& current = manager.placement();
-    if (std::find(current.begin(), current.end(), nearest.front()) != current.end()) {
-      manager.record_access(nearest.front(), client_coords,
-                            static_cast<double>(value.data.size()));
-    }
+    manager.record_access(nearest.front(), client_coords,
+                          static_cast<double>(value.data.size()));
   }
 
   const double started_at = simulator_.now();
@@ -150,16 +149,11 @@ void ReplicatedKvStore::get(topo::NodeId client, const Point& client_coords, Obj
   GEORED_ENSURE(static_cast<bool>(done), "get requires a completion callback");
   const std::uint32_t group = group_of(id);
   auto& manager = fleet_->group(group);
-  const place::Placement placement = manager.placement();
+  const place::Placement& placement = manager.placement();
   const auto targets = closest_replicas(placement, client_coords, config_.quorum.r);
   GEORED_CHECK(!targets.empty(), "group has no replicas");
 
-  if (!targets.empty()) {
-    const auto& current = manager.placement();
-    if (std::find(current.begin(), current.end(), targets.front()) != current.end()) {
-      manager.record_access(targets.front(), client_coords, 1.0);
-    }
-  }
+  manager.record_access(targets.front(), client_coords, 1.0);
 
   const double started_at = simulator_.now();
   // Freshness oracle: what was already committed when the read began.

@@ -7,7 +7,9 @@
 //   * per dimension, n * sum2[d] >= sum[d]^2 (Cauchy-Schwarz: the moments
 //     describe a realizable point multiset),
 //   * centroid and rms_stddev are finite,
-//   * the summarizer's total access count matches the adds it received.
+//   * the summarizer's total access count matches the adds it received,
+//   * the wire encoding round-trips bitwise and serialized_size() predicts
+//     exactly the bytes write_clusters() emits.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -15,9 +17,38 @@
 
 #include "cluster/summarizer.h"
 #include "common/random.h"
+#include "common/serialize.h"
 
 namespace geored::cluster {
 namespace {
+
+/// Serialization round-trip after every mutation: write_clusters must emit
+/// exactly serialized_size() bytes (Table II's bandwidth accounting depends
+/// on the prediction being exact), and deserialization must reproduce every
+/// moment bit for bit — including zero-weight clusters and clusters built
+/// by budget-overflow merges.
+void expect_roundtrip(const MicroClusterSummarizer& summarizer, std::uint64_t seed,
+                      std::size_t step) {
+  const auto& clusters = summarizer.clusters();
+  ByteWriter writer;
+  write_clusters(writer, clusters);
+  ASSERT_EQ(writer.size(), serialized_size(clusters))
+      << "wire-size prediction diverged at seed " << seed << " step " << step;
+  ByteReader reader(writer.bytes());
+  const auto decoded = MicroClusterSummarizer::deserialize_clusters(reader);
+  ASSERT_EQ(decoded.size(), clusters.size()) << "seed " << seed << " step " << step;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    ASSERT_EQ(decoded[i].count(), clusters[i].count());
+    ASSERT_EQ(decoded[i].weight(), clusters[i].weight());
+    ASSERT_EQ(decoded[i].sum().dim(), clusters[i].sum().dim());
+    for (std::size_t d = 0; d < clusters[i].sum().dim(); ++d) {
+      ASSERT_EQ(decoded[i].sum()[d], clusters[i].sum()[d])
+          << "sum bit mismatch at seed " << seed << " step " << step;
+      ASSERT_EQ(decoded[i].sum2()[d], clusters[i].sum2()[d])
+          << "sum2 bit mismatch at seed " << seed << " step " << step;
+    }
+  }
+}
 
 void expect_invariants(const MicroClusterSummarizer& summarizer,
                        const SummarizerConfig& config, std::uint64_t seed,
@@ -78,8 +109,11 @@ void run_summarizer_fuzz(std::uint64_t seed) {
       } else if (rng.bernoulli(0.5)) {
         for (std::size_t d = 0; d < dim; ++d) p[d] = rng.uniform(-1e4, 1e4);
       }
-      const double weight = rng.bernoulli(0.05) ? rng.uniform(0.0, 1e6)
-                                                : rng.uniform(0.0, 10.0);
+      // Occasional exact-zero weights: a legal access (metadata-only read)
+      // that must survive the wire round-trip below.
+      const double weight = rng.bernoulli(0.1)    ? 0.0
+                            : rng.bernoulli(0.05) ? rng.uniform(0.0, 1e6)
+                                                  : rng.uniform(0.0, 10.0);
       summarizer.add(p, weight);
       ++expected_total;
     } else if (action < 0.95) {
@@ -100,6 +134,8 @@ void run_summarizer_fuzz(std::uint64_t seed) {
       // ever seen, so expected_total is unchanged.
     }
     expect_invariants(summarizer, config, seed, step);
+    if (::testing::Test::HasFatalFailure()) return;
+    expect_roundtrip(summarizer, seed, step);
     if (::testing::Test::HasFatalFailure()) return;
     ASSERT_EQ(summarizer.total_count(), expected_total);
   }

@@ -149,6 +149,8 @@ int cmd_experiment(const std::vector<std::string>& args) {
   parser.add_int("quorum", 1, "replicas a client must reach");
   parser.add_string("strategies", "random,offline,online,optimal",
                     "comma-separated: random|offline|online|optimal|greedy|hotzone|local-search");
+  parser.add_string("collector", "direct",
+                    "summary collection path: direct|hierarchical|decentralized");
   parser.parse(args);
   if (parser.help_requested()) return handled_help(parser);
 
@@ -169,6 +171,7 @@ int cmd_experiment(const std::vector<std::string>& args) {
   for (const auto& name : split_csv(parser.get_string("strategies"))) {
     config.strategies.push_back(place::strategy_kind(name));
   }
+  config.collector = parser.get_string("collector");
 
   const auto result = run_experiment(env, config);
   std::printf("%-18s %14s %12s %16s\n", "strategy", "avg delay", "95% CI", "vs first");
