@@ -1,6 +1,7 @@
 #include "cluster/microcluster.h"
 
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/ensure.h"
@@ -132,8 +133,25 @@ MicroCluster MicroCluster::deserialize(ByteReader& reader) {
   cluster.weight_ = reader.read_f64();
   cluster.sum_ = Point(reader.read_f64_vector());
   cluster.sum2_ = Point(reader.read_f64_vector());
-  GEORED_ENSURE(cluster.sum_.dim() == cluster.sum2_.dim(),
-                "corrupt micro-cluster encoding: moment dimension mismatch");
+  // Frames arriving over a real transport can carry arbitrary bit patterns;
+  // reject anything no serialize() call could have produced so corrupt bytes
+  // surface as a typed error here instead of NaNs (or worse) downstream.
+  if (cluster.sum_.dim() != cluster.sum2_.dim()) {
+    throw WireFormatError("corrupt micro-cluster encoding: moment dimension mismatch");
+  }
+  if (!std::isfinite(cluster.weight_) || cluster.weight_ < 0.0) {
+    throw WireFormatError("corrupt micro-cluster encoding: non-finite or negative weight");
+  }
+  if (!cluster.sum_.is_finite() || !cluster.sum2_.is_finite()) {
+    throw WireFormatError("corrupt micro-cluster encoding: non-finite moments");
+  }
+  for (std::size_t d = 0; d < cluster.sum2_.dim(); ++d) {
+    if (cluster.sum2_[d] < 0.0) {
+      throw WireFormatError(
+          "corrupt micro-cluster encoding: negative second moment in dimension " +
+          std::to_string(d));
+    }
+  }
   return cluster;
 }
 

@@ -1,6 +1,7 @@
 #include "cluster/summarizer.h"
 
 #include <cmath>
+#include <string>
 
 #include "common/ensure.h"
 
@@ -172,6 +173,15 @@ void MicroClusterSummarizer::serialize(ByteWriter& writer) const {
 
 std::vector<MicroCluster> MicroClusterSummarizer::deserialize_clusters(ByteReader& reader) {
   const std::uint32_t n = reader.read_u32();
+  // Bound the count by the smallest possible cluster encoding before
+  // reserving: a corrupt or truncated frame must throw WireFormatError, not
+  // attempt a multi-gigabyte allocation.
+  const std::size_t min_cluster_bytes = MicroCluster::serialized_size(0);
+  if (static_cast<std::size_t>(n) * min_cluster_bytes > reader.remaining()) {
+    throw WireFormatError("corrupt summary frame: cluster count " + std::to_string(n) +
+                          " cannot fit in the " + std::to_string(reader.remaining()) +
+                          " bytes remaining");
+  }
   std::vector<MicroCluster> clusters;
   clusters.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) clusters.push_back(MicroCluster::deserialize(reader));

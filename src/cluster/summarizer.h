@@ -88,6 +88,12 @@ class MicroClusterSummarizer {
 
   /// Serializes all clusters (the per-replica message of Algorithm 1).
   void serialize(ByteWriter& writer) const;
+
+  /// Decodes a write_clusters frame. Hardened against hostile bytes: a
+  /// truncated buffer, a cluster count that cannot fit in the remaining
+  /// bytes, or moment values no serialize() could emit all throw
+  /// geored::WireFormatError — real-transport collectors (src/net/) rely on
+  /// corrupt frames failing typed here rather than propagating garbage.
   static std::vector<MicroCluster> deserialize_clusters(ByteReader& reader);
 
   /// The underlying flat moment store — exposed so tests can pin the radius

@@ -15,6 +15,16 @@
 
 namespace geored {
 
+/// Raised when decoded bytes cannot be a well-formed geored wire message:
+/// a read past the end of the buffer, a length field larger than the bytes
+/// that follow it, or field values no writer could have produced. Derives
+/// from std::invalid_argument so existing recovery paths keep working, while
+/// transport code (src/net/) can distinguish corrupt frames from API misuse.
+class WireFormatError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 /// Append-only binary writer.
 class ByteWriter {
  public:
@@ -51,6 +61,13 @@ class ByteReader {
 
   std::vector<double> read_f64_vector() {
     const std::uint32_t n = read_u32();
+    // Validate the count against the bytes actually present before sizing
+    // the vector: a corrupt length prefix must throw, not allocate gigabytes.
+    if (static_cast<std::size_t>(n) * sizeof(double) > remaining()) {
+      throw WireFormatError("ByteReader: f64 vector length " + std::to_string(n) +
+                            " exceeds the " + std::to_string(remaining()) +
+                            " bytes remaining (truncated or corrupt frame)");
+    }
     std::vector<double> values(n);
     for (auto& v : values) v = read_f64();
     return values;
@@ -62,8 +79,9 @@ class ByteReader {
  private:
   template <typename T>
   T read_raw() {
-    GEORED_ENSURE(offset_ + sizeof(T) <= bytes_.size(),
-                  "ByteReader: read past end of buffer");
+    if (offset_ + sizeof(T) > bytes_.size()) {
+      throw WireFormatError("ByteReader: read past end of buffer (truncated frame)");
+    }
     T value;
     std::memcpy(&value, bytes_.data() + offset_, sizeof(T));
     offset_ += sizeof(T);

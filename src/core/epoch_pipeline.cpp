@@ -7,6 +7,7 @@
 #include "common/ensure.h"
 #include "common/serialize.h"
 #include "core/decentralized.h"
+#include "net/rpc_collector.h"
 
 namespace geored::core {
 
@@ -154,8 +155,10 @@ std::unique_ptr<SummaryCollector> make_collector(const std::string& name,
                                                  const CollectorConfig& config) {
   const std::vector<std::string> names = collector_names();
   GEORED_ENSURE(std::find(names.begin(), names.end(), name) != names.end(),
-                "unknown collector '" + name + "'; known: direct, hierarchical, decentralized");
+                "unknown collector '" + name +
+                    "'; known: direct, hierarchical, decentralized, rpc");
   if (name == "direct") return std::make_unique<DirectCollector>();
+  if (name == "rpc") return std::make_unique<net::RpcCollector>(config.rpc, config.rpc_clock);
   GEORED_ENSURE(config.simulator != nullptr && config.network != nullptr,
                 "the '" + name +
                     "' collector runs over a simulated network; CollectorConfig "
@@ -169,7 +172,7 @@ std::unique_ptr<SummaryCollector> make_collector(const std::string& name,
 }
 
 std::vector<std::string> collector_names() {
-  return {"direct", "hierarchical", "decentralized"};
+  return {"direct", "hierarchical", "decentralized", "rpc"};
 }
 
 }  // namespace geored::core

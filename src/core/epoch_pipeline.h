@@ -32,6 +32,8 @@
 #include "cluster/summarizer.h"
 #include "core/aggregation.h"
 #include "core/migration.h"
+#include "net/clock.h"
+#include "net/rpc_config.h"
 #include "placement/online_clustering.h"
 #include "placement/strategy.h"
 #include "placement/types.h"
@@ -55,6 +57,12 @@ struct CollectedSummaries {
   /// Set when the collection protocol itself already agreed on a proposal
   /// (the decentralized collector); the pipeline then skips the proposer.
   std::optional<place::Placement> agreed_proposal;
+  /// Sources whose summary could not be collected this round and was served
+  /// from the collector's last-epoch cache instead ("rpc" degradation).
+  std::vector<topo::NodeId> stale_sources;
+  /// Sources that contributed nothing: collection failed and no cached
+  /// summary existed. The epoch still completes on what did arrive.
+  std::vector<topo::NodeId> lost_sources;
 };
 
 /// Stage 1: ships per-replica summaries to the placement decision point.
@@ -248,11 +256,18 @@ struct CollectorConfig {
   /// Per-replica decision rule ("decentralized"); defaults to the paper's
   /// online clustering when null.
   std::shared_ptr<const place::PlacementStrategy> decision_strategy;
+  /// Fault schedule and retry budget ("rpc"); the defaults give a clean
+  /// wire, byte-identical to "direct".
+  net::RpcCollectorConfig rpc;
+  /// Transport clock ("rpc"); null means the real SystemClock. Tests inject
+  /// a net::VirtualClock so retry backoff costs no wall time.
+  std::shared_ptr<net::Clock> rpc_clock;
 };
 
 /// String-keyed collector registry: "direct", "hierarchical",
-/// "decentralized". Throws std::invalid_argument for unknown names and when
-/// a protocol collector is requested without simulator/network.
+/// "decentralized", "rpc". Throws std::invalid_argument for unknown names
+/// and when a protocol collector is requested without simulator/network
+/// ("rpc" runs over real localhost sockets and needs neither).
 std::unique_ptr<SummaryCollector> make_collector(const std::string& name,
                                                  const CollectorConfig& config = {});
 

@@ -155,6 +155,15 @@ std::vector<double> run_once(const Environment& env, const ExperimentConfig& con
   std::vector<cluster::MicroCluster> summaries;
   if (config.collector == "direct") {
     summaries = DirectCollector().collect(sources, {candidates, k, seed}).summaries;
+  } else if (config.collector == "rpc") {
+    // Real sockets, no simulator. Each run stands up its own ephemeral-port
+    // server, so concurrent runs do not collide. Sources that exhaust their
+    // retries have no prior epoch to fall back to here (one round per run),
+    // so under heavy fault injection some sources simply contribute nothing.
+    CollectorConfig collector_config;
+    collector_config.rpc = config.rpc;
+    summaries =
+        make_collector("rpc", collector_config)->collect(sources, {candidates, k, seed}).summaries;
   } else {
     sim::Simulator simulator;
     sim::Network network(simulator, topology);

@@ -20,6 +20,7 @@
 
 #include "cluster/summarizer.h"
 #include "common/stats.h"
+#include "net/rpc_config.h"
 #include "netcoord/embedding.h"
 #include "placement/strategy.h"
 #include "topology/planetlab_model.h"
@@ -72,12 +73,17 @@ struct ExperimentConfig {
 
   /// How observation-phase summaries reach the placement decision point:
   /// "direct" (in-process concatenation, the paper's central server),
-  /// "hierarchical" (two-level aggregation tree), or "decentralized"
-  /// (all-to-all agreement). See core::collector_names(). Non-direct
-  /// collectors run over a per-run simulated network, so their merged
-  /// summaries — and thus the summary-driven strategies — may differ; that
-  /// comparison is the point of the sweep.
+  /// "hierarchical" (two-level aggregation tree), "decentralized"
+  /// (all-to-all agreement), or "rpc" (real localhost sockets). See
+  /// core::collector_names(). The simulated-protocol collectors may merge
+  /// summaries along the way, so the summary-driven strategies may differ —
+  /// that comparison is the point of the sweep. "rpc" with faults disabled
+  /// is byte-identical to "direct".
   std::string collector = "direct";
+
+  /// Transport knobs consulted when collector == "rpc" (fault schedule,
+  /// retry budget). Defaults give a clean wire.
+  net::RpcCollectorConfig rpc;
 
   /// Worker threads running independent runs concurrently. Results are
   /// bit-identical for any thread count (run r always uses base_seed + r

@@ -332,6 +332,8 @@ EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded
   CollectedSummaries collected =
       pipeline_.collector->collect(sources, {usable, degree_, epoch_seed});
   report.summary_bytes = collected.summary_bytes;
+  report.stale_sources = collected.stale_sources.size();
+  report.lost_sources = collected.lost_sources.size();
 
   // 3. Propose a placement via the proposer stage over the usable
   //    candidates — unless the collection protocol already agreed on one

@@ -89,6 +89,8 @@ struct EpochReport {
   std::size_t summary_bytes = 0;       ///< wire size of shipped summaries
   std::uint64_t epoch_accesses = 0;    ///< accesses summarized this epoch
   std::size_t degree = 0;              ///< k in force after the epoch
+  std::size_t stale_sources = 0;       ///< sources served from a collector cache
+  std::size_t lost_sources = 0;        ///< sources that contributed nothing
 };
 
 /// The canonical stage composition for a ManagerConfig: direct in-process

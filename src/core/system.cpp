@@ -9,6 +9,29 @@
 
 namespace geored::core {
 
+namespace {
+
+/// The system's stage composition: the canonical pipeline with the
+/// collection stage swapped per SystemConfig::collector. The protocol
+/// collectors run over this system's simulator with the coordinator as the
+/// aggregation root; "rpc" needs neither.
+EpochPipeline system_pipeline(sim::Simulator& simulator, sim::Network& network,
+                              topo::NodeId coordinator, const SystemConfig& config) {
+  EpochPipeline pipeline = standard_pipeline(config.manager);
+  if (config.collector != "direct") {
+    CollectorConfig collector_config;
+    collector_config.simulator = &simulator;
+    collector_config.network = &network;
+    collector_config.aggregation_root = coordinator;
+    collector_config.rpc = config.rpc;
+    collector_config.rpc_clock = config.rpc_clock;
+    pipeline.collector = make_collector(config.collector, collector_config);
+  }
+  return pipeline;
+}
+
+}  // namespace
+
 ReplicationSystem::ReplicationSystem(sim::Simulator& simulator, sim::Network& network,
                                      std::vector<place::CandidateInfo> candidates,
                                      std::vector<topo::NodeId> clients,
@@ -24,9 +47,8 @@ ReplicationSystem::ReplicationSystem(sim::Simulator& simulator, sim::Network& ne
       coordinator_(coordinator),
       config_(config),
       rng_(seed),
-      // The explicit canonical composition — the place to swap a stage for
-      // a protocol variant (e.g. a hierarchical collector) system-wide.
-      manager_(candidates_, config.manager, seed, standard_pipeline(config.manager)) {
+      manager_(candidates_, config.manager, seed,
+               system_pipeline(simulator, network, coordinator, config)) {
   GEORED_ENSURE(clients_.size() == client_coords_.size(),
                 "one coordinate per client required");
   GEORED_ENSURE(clients_.size() == workload_.client_count(),

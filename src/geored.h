@@ -26,6 +26,12 @@
 #include "core/migration.h"
 #include "core/replication_manager.h"
 #include "core/system.h"
+#include "net/clock.h"
+#include "net/fault_injector.h"
+#include "net/frame.h"
+#include "net/rpc_collector.h"
+#include "net/rpc_config.h"
+#include "net/socket.h"
 #include "netcoord/embedding.h"
 #include "netcoord/gnp.h"
 #include "netcoord/rnp.h"

@@ -1,0 +1,59 @@
+#include "net/fault_injector.h"
+
+#include <string>
+
+#include "common/ensure.h"
+#include "common/random.h"
+
+namespace geored::net {
+
+namespace {
+
+/// Folds the triple into one 64-bit stream id for Rng::fork. The constants
+/// are odd (hence invertible mod 2^64) so distinct triples map to distinct
+/// streams across the ranges any experiment reaches.
+std::uint64_t mix(std::uint64_t salt, std::uint64_t source, std::uint64_t attempt) {
+  std::uint64_t state = salt;
+  state ^= source * 0x9e3779b97f4a7c15ULL + 0x7f4a7c159e3779b9ULL;
+  state ^= attempt * 0xbf58476d1ce4e5b9ULL + 0x94d049bb133111ebULL;
+  return splitmix64(state);
+}
+
+void check_probability(double p, const char* label) {
+  GEORED_ENSURE(p >= 0.0 && p <= 1.0,
+                std::string("fault probability '") + label + "' must lie in [0, 1]");
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig config) : config_(config) {
+  check_probability(config_.drop, "drop");
+  check_probability(config_.delay, "delay");
+  check_probability(config_.duplicate, "duplicate");
+  check_probability(config_.truncate, "truncate");
+  check_probability(config_.disconnect, "disconnect");
+  const double total = config_.drop + config_.delay + config_.duplicate + config_.truncate +
+                       config_.disconnect;
+  GEORED_ENSURE(total <= 1.0 + 1e-12, "fault probabilities must sum to at most 1");
+  enabled_ = total > 0.0;
+}
+
+FaultPlan FaultInjector::plan(std::uint64_t salt, std::uint64_t source,
+                              std::uint64_t attempt) const {
+  if (!enabled_) return {};
+  Rng rng = Rng(config_.seed).fork(mix(salt, source, attempt));
+  const double draw = rng.uniform();
+  double edge = config_.drop;
+  if (draw < edge) return {FaultAction::kDrop, 0};
+  edge += config_.delay;
+  if (draw < edge) return {FaultAction::kDelay, config_.delay_ms};
+  edge += config_.duplicate;
+  if (draw < edge) return {FaultAction::kDuplicate, 0};
+  edge += config_.truncate;
+  if (draw < edge) return {FaultAction::kTruncate, 0};
+  edge += config_.disconnect;
+  if (draw < edge) return {FaultAction::kDisconnect, 0};
+  return {};
+}
+
+}  // namespace geored::net

@@ -1,0 +1,74 @@
+// Seeded fault injection for the RPC transport.
+//
+// The injector answers one question — "what goes wrong with attempt A of
+// source S under salt X?" — as a pure function of its seed and those three
+// numbers. Nothing about thread scheduling, socket timing, or retry order
+// can change the answer, so a failure schedule observed once reproduces
+// bit-for-bit from the same seed. The server consults the plan before
+// replying and acts it out at the transport level: hold the connection open
+// without answering (drop), stall then answer (delay), answer twice
+// (duplicate), send a frame whose body stops short of its header's claim
+// (truncate), or close before answering (disconnect).
+#pragma once
+
+#include <cstdint>
+
+namespace geored::net {
+
+/// What the server does to one request, in ladder order.
+enum class FaultAction {
+  kNone,        ///< respond normally
+  kDrop,        ///< never respond; hold the connection until the client quits
+  kDelay,       ///< respond after an injected delay
+  kDuplicate,   ///< respond twice (clients must treat replies as idempotent)
+  kTruncate,    ///< respond with a frame cut short of its declared length
+  kDisconnect,  ///< close the connection without responding
+};
+
+/// Per-action probabilities plus the seed that fixes the schedule.
+struct FaultConfig {
+  double drop = 0.0;
+  double delay = 0.0;
+  double duplicate = 0.0;
+  double truncate = 0.0;
+  double disconnect = 0.0;
+
+  /// Server-side stall for kDelay; keep below the client timeout so a
+  /// delayed reply is recoverable rather than indistinguishable from a drop.
+  std::uint64_t delay_ms = 5;
+
+  /// Root of the whole failure schedule.
+  std::uint64_t seed = 0;
+};
+
+/// The injector's verdict for one (salt, source, attempt) triple.
+struct FaultPlan {
+  FaultAction action = FaultAction::kNone;
+  std::uint64_t delay_ms = 0;  ///< nonzero only for kDelay
+};
+
+/// Deterministic fault oracle. Copyable and immutable after construction;
+/// plan() is const and thread-safe because it derives a fresh generator per
+/// call instead of mutating shared state.
+class FaultInjector {
+ public:
+  /// Validates each probability lies in [0, 1] and their sum is at most 1.
+  explicit FaultInjector(FaultConfig config = {});
+
+  /// True when any fault has nonzero probability.
+  bool enabled() const { return enabled_; }
+
+  const FaultConfig& config() const { return config_; }
+
+  /// The fate of attempt `attempt` for `source` under `salt` — typically the
+  /// epoch seed, so schedules differ across epochs yet replay exactly. One
+  /// uniform draw walks the ladder drop -> delay -> duplicate -> truncate ->
+  /// disconnect; the leftover mass is kNone.
+  FaultPlan plan(std::uint64_t salt, std::uint64_t source, std::uint64_t attempt) const;
+
+ private:
+  FaultConfig config_;
+  bool enabled_ = false;
+};
+
+}  // namespace geored::net

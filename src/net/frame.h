@@ -1,0 +1,57 @@
+// Length-prefixed frames: the unit of the RPC transport.
+//
+// One frame on the wire is
+//
+//   +----------------+----------------+===================+
+//   | u32 magic GRFR | u32 len (LE)   |  len payload bytes |
+//   +----------------+----------------+===================+
+//
+// The magic catches cross-protocol garbage at the first read; the length
+// prefix bounds the read so a frame is consumed exactly. Anything that
+// cannot be a well-formed frame — wrong magic, a length above the sanity
+// cap, or the stream ending mid-frame — throws FrameError, the transport's
+// typed "these bytes are corrupt" signal. A stream that ends cleanly
+// *between* frames is not an error (IoStatus::kClosed), because connection
+// teardown is an ordinary event for the fault-tolerant collector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace geored::net {
+
+/// First field of every frame ("GRFR" little-endian).
+inline constexpr std::uint32_t kFrameMagic = 0x52465247;
+
+/// Sanity cap on payload length (16 MiB): a summary frame is O(k * m * dim)
+/// doubles, so anything near this is corruption, not data.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 24;
+
+/// Raised when received bytes cannot be a well-formed frame.
+class FrameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Sends `payload` as one frame.
+void write_frame(Socket& socket, std::span<const std::uint8_t> payload);
+
+/// Sends a deliberately malformed frame whose header claims
+/// `payload.size()` bytes but whose body stops after `sent_bytes` — the
+/// fault injector's "truncate" action. Requires sent_bytes < payload.size().
+void write_truncated_frame(Socket& socket, std::span<const std::uint8_t> payload,
+                           std::size_t sent_bytes);
+
+/// Reads one frame into `payload`. kOk on success; kClosed when the peer
+/// closed before a full header arrived; kTimeout when the header wait
+/// expired. Throws FrameError on a bad magic, an oversized length, or a
+/// stream that ends (or times out) after the header but before the payload
+/// completes — a frame with a believed header is corrupt if cut short, not
+/// merely late.
+IoStatus read_frame(Socket& socket, std::vector<std::uint8_t>& payload, int timeout_ms);
+
+}  // namespace geored::net

@@ -1,0 +1,287 @@
+#include "net/rpc_collector.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/ensure.h"
+#include "common/serialize.h"
+#include "common/thread_pool.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace geored::net {
+
+namespace {
+
+/// Request payload: which source's summary, and which attempt this is. The
+/// attempt number travels in the request so the fault injector can give
+/// retries a fresh verdict without the server tracking any client state.
+constexpr std::size_t kRequestBytes = 2 * sizeof(std::uint32_t);
+
+/// Accept-loop poll tick: how often the server checks its stop flag. Pure
+/// liveness plumbing, not time "spent" — hence not on the injected Clock.
+constexpr int kAcceptTickMs = 50;
+
+/// How long a dropping server holds an unanswered connection open waiting
+/// for the client to give up. The client's own timeout fires far sooner and
+/// closes the socket, which ends the drain; this bound only stops a handler
+/// thread from leaking if the peer wedges.
+constexpr int kDropHoldMs = 60 * 1000;
+
+void put_u32(std::uint8_t* out, std::uint32_t value) { std::memcpy(out, &value, sizeof value); }
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t value;
+  std::memcpy(&value, in, sizeof value);
+  return value;
+}
+
+/// Serves the epoch's per-source payloads, sabotaging attempts as the fault
+/// injector directs. One accept-loop thread plus one short-lived thread per
+/// connection, all joined by the destructor before collect() returns.
+class SummaryServer {
+ public:
+  SummaryServer(std::vector<std::vector<std::uint8_t>> payloads, const FaultInjector& injector,
+                std::uint64_t salt, Clock& clock, int request_timeout_ms)
+      : payloads_(std::move(payloads)),
+        injector_(injector),
+        salt_(salt),
+        clock_(clock),
+        request_timeout_ms_(request_timeout_ms) {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~SummaryServer() {
+    stop_.store(true);
+    accept_thread_.join();
+    for (auto& handler : handlers_) handler.join();
+  }
+
+  SummaryServer(const SummaryServer&) = delete;
+  SummaryServer& operator=(const SummaryServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+ private:
+  void accept_loop() {
+    while (!stop_.load()) {
+      std::optional<Socket> conn = listener_.accept(kAcceptTickMs);
+      if (!conn) continue;
+      handlers_.emplace_back(
+          [this](Socket socket) { handle(std::move(socket)); }, std::move(*conn));
+    }
+  }
+
+  void handle(Socket conn) {
+    // A peer vanishing mid-exchange is its client's fault to count, not an
+    // error here — swallow transport exceptions and drop the connection.
+    try {
+      std::vector<std::uint8_t> request;
+      if (read_frame(conn, request, request_timeout_ms_) != IoStatus::kOk) return;
+      if (request.size() != kRequestBytes) return;
+      const std::uint32_t source = get_u32(request.data());
+      const std::uint32_t attempt = get_u32(request.data() + sizeof(std::uint32_t));
+      if (source >= payloads_.size()) return;
+      const std::vector<std::uint8_t>& payload = payloads_[source];
+      const FaultPlan plan = injector_.plan(salt_, source, attempt);
+      switch (plan.action) {
+        case FaultAction::kNone:
+          write_frame(conn, payload);
+          break;
+        case FaultAction::kDrop:
+          // Never answer; wait out the client's timeout-and-close.
+          conn.drain_until_closed(kDropHoldMs);
+          break;
+        case FaultAction::kDelay:
+          clock_.sleep_ms(plan.delay_ms);
+          write_frame(conn, payload);
+          break;
+        case FaultAction::kDuplicate:
+          write_frame(conn, payload);
+          write_frame(conn, payload);
+          break;
+        case FaultAction::kTruncate:
+          // Header promises the full payload; the body stops halfway. An
+          // empty payload cannot be cut short, so degrade to a disconnect.
+          if (payload.empty()) break;
+          write_truncated_frame(conn, payload, payload.size() / 2);
+          break;
+        case FaultAction::kDisconnect:
+          break;  // close without replying
+      }
+    } catch (const SocketError&) {
+    } catch (const FrameError&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+
+  Listener listener_;
+  std::vector<std::vector<std::uint8_t>> payloads_;
+  FaultInjector injector_;
+  std::uint64_t salt_;
+  Clock& clock_;
+  int request_timeout_ms_;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  /// Owned by the accept loop; the destructor reads it only after joining
+  /// accept_thread_, so no lock is needed.
+  std::vector<std::thread> handlers_;
+};
+
+/// One source's fate after the retry loop, plus its share of the counters.
+/// Slots live in an index-disjoint vector so the parallel fetch needs no
+/// synchronization.
+struct FetchResult {
+  bool ok = false;
+  std::vector<std::uint8_t> payload;
+  std::vector<cluster::MicroCluster> clusters;
+  std::size_t requests_sent = 0;
+  std::size_t faults_hit = 0;
+  std::size_t retries = 0;
+  std::uint64_t backoff_ms = 0;
+};
+
+std::uint64_t backoff_for_attempt(const RpcCollectorConfig& config, std::size_t attempt) {
+  std::uint64_t backoff = config.backoff_initial_ms;
+  for (std::size_t step = 1; step < attempt; ++step) {
+    backoff = std::min(backoff * 2, config.backoff_cap_ms);
+  }
+  return std::min(backoff, config.backoff_cap_ms);
+}
+
+FetchResult fetch_source(std::uint16_t port, std::uint32_t source,
+                         const RpcCollectorConfig& config, Clock& clock) {
+  FetchResult result;
+  const int timeout_ms = static_cast<int>(
+      std::min<std::uint64_t>(config.timeout_ms, std::numeric_limits<int>::max()));
+  for (std::size_t attempt = 0; attempt < config.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const std::uint64_t backoff = backoff_for_attempt(config, attempt);
+      clock.sleep_ms(backoff);
+      result.backoff_ms += backoff;
+      ++result.retries;
+    }
+    try {
+      Socket socket = connect_local(port, timeout_ms);
+      std::uint8_t request[kRequestBytes];
+      put_u32(request, source);
+      put_u32(request + sizeof(std::uint32_t), static_cast<std::uint32_t>(attempt));
+      write_frame(socket, request);
+      ++result.requests_sent;
+      std::vector<std::uint8_t> response;
+      if (read_frame(socket, response, timeout_ms) == IoStatus::kOk) {
+        // Hardened decode: anything a zero-fault server could not have sent
+        // throws WireFormatError and burns this attempt like any other fault.
+        ByteReader reader(response);
+        std::vector<cluster::MicroCluster> clusters =
+            cluster::MicroClusterSummarizer::deserialize_clusters(reader);
+        if (!reader.exhausted()) {
+          throw WireFormatError("summary response carries trailing bytes");
+        }
+        result.clusters = std::move(clusters);
+        result.payload = std::move(response);
+        result.ok = true;
+        return result;
+      }
+      // kClosed: the server disconnected without answering.
+      // kTimeout: the server is holding the response (drop); give up and
+      // close, which releases the server's drain.
+    } catch (const FrameError&) {
+      // Truncated or corrupt frame.
+    } catch (const SocketError&) {
+      // Reset mid-exchange.
+    } catch (const WireFormatError&) {
+      // Framed fine, decoded to garbage.
+    }
+    ++result.faults_hit;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string RpcStats::to_string() const {
+  return "rpc: requests=" + std::to_string(requests_sent) + " ok=" +
+         std::to_string(responses_ok) + " faults=" + std::to_string(faults_hit) +
+         " retries=" + std::to_string(retries) + " stale=" + std::to_string(stale_fallbacks) +
+         " lost=" + std::to_string(lost_sources) + " backoff_ms=" +
+         std::to_string(backoff_ms_total);
+}
+
+RpcCollector::RpcCollector(RpcCollectorConfig config, std::shared_ptr<Clock> clock)
+    : config_(config), injector_(config.faults), clock_(std::move(clock)) {
+  GEORED_ENSURE(config_.max_attempts >= 1, "the retry budget includes the first attempt");
+  GEORED_ENSURE(config_.timeout_ms > config_.faults.delay_ms,
+                "the client timeout must exceed the injected delay or delays become drops");
+  if (!clock_) clock_ = std::make_shared<SystemClock>();
+}
+
+core::CollectedSummaries RpcCollector::collect(const std::vector<core::SummarySource>& sources,
+                                               const core::CollectionContext& context) {
+  stats_ = RpcStats{};
+  core::CollectedSummaries collected;
+  if (sources.empty()) return collected;
+
+  // Serialize every source with the shared wire format: the payloads the
+  // server answers with, and — concatenated in source order — exactly the
+  // bytes DirectCollector would have accounted.
+  std::vector<std::vector<std::uint8_t>> payloads(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    ByteWriter writer;
+    cluster::write_clusters(writer, sources[i].clusters);
+    payloads[i] = writer.bytes();
+  }
+
+  std::vector<FetchResult> results(sources.size());
+  {
+    const int request_timeout_ms = static_cast<int>(
+        std::min<std::uint64_t>(config_.timeout_ms, std::numeric_limits<int>::max()));
+    SummaryServer server(std::move(payloads), injector_, context.epoch_seed, *clock_,
+                         request_timeout_ms);
+    const std::uint16_t port = server.port();
+    parallel_for(sources.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        results[i] = fetch_source(port, static_cast<std::uint32_t>(i), config_, *clock_);
+      }
+    });
+    // Server (and every handler thread) joins here, before results are read.
+  }
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    FetchResult& result = results[i];
+    stats_.requests_sent += result.requests_sent;
+    stats_.faults_hit += result.faults_hit;
+    stats_.retries += result.retries;
+    stats_.backoff_ms_total += result.backoff_ms;
+    if (result.ok) {
+      ++stats_.responses_ok;
+      collected.summary_bytes += result.payload.size();
+      for (auto& micro : result.clusters) collected.summaries.push_back(std::move(micro));
+      last_good_[sources[i].node] = std::move(result.payload);
+      continue;
+    }
+    const auto cached = last_good_.find(sources[i].node);
+    if (cached != last_good_.end()) {
+      // Stale fallback: replay the replica's last good payload. It parsed
+      // when it was cached, so this decode cannot fail. The bytes are not
+      // added to summary_bytes — nothing crossed the wire this round.
+      ByteReader reader(cached->second);
+      for (auto& micro : cluster::MicroClusterSummarizer::deserialize_clusters(reader)) {
+        collected.summaries.push_back(std::move(micro));
+      }
+      collected.stale_sources.push_back(sources[i].node);
+      ++stats_.stale_fallbacks;
+    } else {
+      collected.lost_sources.push_back(sources[i].node);
+      ++stats_.lost_sources;
+    }
+  }
+  return collected;
+}
+
+}  // namespace geored::net

@@ -1,0 +1,94 @@
+// Minimal blocking TCP sockets over localhost: the real transport under the
+// RPC-backed summary collector.
+//
+// Scope is deliberately small — RAII file descriptors, exact-length send and
+// receive with poll()-bounded waits, and an ephemeral-port listener bound to
+// 127.0.0.1. No readiness loops, no buffers, no portability shims: callers
+// block on the deterministic ThreadPool (or a dedicated server thread) and
+// the kernel does the queueing. Hard I/O errors throw SocketError; orderly
+// peer shutdown and expired waits are ordinary IoStatus results, because the
+// fault-tolerant collector treats them as routine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+namespace geored::net {
+
+/// Raised on unexpected transport failures (socket syscalls failing for
+/// reasons other than a peer closing or a wait timing out).
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Outcome of a bounded receive.
+enum class IoStatus {
+  kOk,       ///< every requested byte arrived
+  kClosed,   ///< the peer closed before (or while) the bytes arrived
+  kTimeout,  ///< the wait expired first
+};
+
+/// A connected TCP stream socket (move-only RAII fd).
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts an already-connected file descriptor.
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Writes exactly `len` bytes. Throws SocketError if the peer resets the
+  /// connection or any other send failure occurs.
+  void send_all(const void* data, std::size_t len);
+
+  /// Reads exactly `len` bytes unless the peer closes (kClosed) or no data
+  /// becomes readable within `timeout_ms` of waiting (kTimeout); both leave
+  /// any partial bytes in `data` and the stream unusable for framing.
+  IoStatus recv_exact(void* data, std::size_t len, int timeout_ms);
+
+  /// Discards inbound bytes until the peer closes or `timeout_ms` of
+  /// waiting expires — how a server holds a connection open without ever
+  /// answering (the transport-level picture of a dropped response).
+  void drain_until_closed(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket bound to an ephemeral 127.0.0.1 port.
+class Listener {
+ public:
+  Listener();
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// The kernel-assigned port clients connect_local() to.
+  std::uint16_t port() const { return port_; }
+
+  /// Accepts one connection, waiting at most `timeout_ms`; nullopt on
+  /// timeout so accept loops can poll a stop flag between waits.
+  std::optional<Socket> accept(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`, waiting at most `timeout_ms` for the
+/// connection to be accepted. Throws SocketError on failure.
+Socket connect_local(std::uint16_t port, int timeout_ms);
+
+}  // namespace geored::net

@@ -164,13 +164,17 @@ TEST(EpochPipeline, RejectsIncompletePipelines) {
 
 TEST(EpochPipeline, CollectorRegistryKnowsItsNames) {
   const auto names = collector_names();
-  ASSERT_EQ(names.size(), 3u);
+  ASSERT_EQ(names.size(), 4u);
   EXPECT_EQ(names[0], "direct");
   EXPECT_EQ(names[1], "hierarchical");
   EXPECT_EQ(names[2], "decentralized");
+  EXPECT_EQ(names[3], "rpc");
 
   const auto direct = make_collector("direct");
   EXPECT_EQ(direct->name(), "direct");
+  // "rpc" runs over real localhost sockets; like "direct" it needs no
+  // simulated network.
+  EXPECT_EQ(make_collector("rpc")->name(), "rpc");
 
   EXPECT_THROW(make_collector("carrier-pigeon"), std::invalid_argument);
   // Protocol collectors need a simulated network to run over.

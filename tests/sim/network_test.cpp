@@ -98,6 +98,49 @@ TEST(Network, JitterStaysWithinBounds) {
   EXPECT_GT(max_gap - min_gap, 1.0);  // jitter actually varies
 }
 
+TEST(Network, JitterBandScalesWithTheConfiguredFraction) {
+  // The scaling factor must stay inside [1-jitter, 1+jitter] at any level,
+  // not just the 0.2 pinned above: at 0.5 the 50 ms one-way spreads to
+  // [25, 75] and never beyond.
+  Simulator simulator;
+  const auto topology = square_topology();
+  NetworkConfig config;
+  config.jitter = 0.5;
+  Network network(simulator, topology, config);
+  std::vector<double> deliveries;
+  for (int i = 0; i < 500; ++i) {
+    network.send(0, 1, 10, TrafficClass::kAccess, [&] { deliveries.push_back(simulator.now()); });
+  }
+  simulator.run();
+  ASSERT_EQ(deliveries.size(), 500u);
+  for (const double t : deliveries) {
+    EXPECT_GE(t, 25.0 - 1e-9);
+    EXPECT_LE(t, 75.0 + 1e-9);
+  }
+}
+
+TEST(Network, JitterIsDeterministicRunToRun) {
+  // The jitter stream is seeded inside the network, not by wall clock or
+  // address: two identically configured worlds deliver at identical times.
+  const auto topology = square_topology();
+  NetworkConfig config;
+  config.jitter = 0.3;
+  auto run = [&] {
+    Simulator simulator;
+    Network network(simulator, topology, config);
+    std::vector<double> deliveries;
+    for (int i = 0; i < 100; ++i) {
+      network.send(0, 1, 10, TrafficClass::kSummary,
+                   [&] { deliveries.push_back(simulator.now()); });
+      network.send(1, 2, 10, TrafficClass::kSummary,
+                   [&] { deliveries.push_back(simulator.now()); });
+    }
+    simulator.run();
+    return deliveries;
+  };
+  EXPECT_EQ(run(), run());
+}
+
 TEST(Network, RejectsInvalidConfig) {
   Simulator simulator;
   const auto topology = square_topology();

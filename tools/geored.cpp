@@ -150,7 +150,7 @@ int cmd_experiment(const std::vector<std::string>& args) {
   parser.add_string("strategies", "random,offline,online,optimal",
                     "comma-separated: random|offline|online|optimal|greedy|hotzone|local-search");
   parser.add_string("collector", "direct",
-                    "summary collection path: direct|hierarchical|decentralized");
+                    "summary collection path: direct|hierarchical|decentralized|rpc");
   parser.parse(args);
   if (parser.help_requested()) return handled_help(parser);
 

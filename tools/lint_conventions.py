@@ -24,6 +24,13 @@ Checks, over src/ (the library — tests/bench/examples have their own idioms):
                         (src/core/epoch_pipeline.cpp): callers go through
                         place::make_strategy("online") or make_collector so
                         every decision rule stays registry-addressable.
+  6. net-injected-clock No wall-clock reads or real sleeps anywhere in
+                        src/net/ except src/net/clock.cpp (SystemClock's
+                        implementation file): the transport must take all its
+                        time from the injected net::Clock so fault schedules,
+                        backoff, and delay faults replay deterministically
+                        under test. Unseeded randomness is already banned
+                        repo-wide by check 2.
 
 Exit status is 0 when clean, 1 when any violation is found.
 Usage: tools/lint_conventions.py [repo-root]
@@ -64,6 +71,18 @@ DIRECT_CONSTRUCTION = re.compile(
 # belongs to, and the pipeline's collector/proposer factory.
 REGISTRY_ALLOWLIST_PREFIXES = ("src/placement/",)
 REGISTRY_ALLOWLIST_FILES = ("src/core/epoch_pipeline.cpp",)
+
+# Wall-clock access inside the transport layer. `sleep_ms` (the injected
+# Clock's own method) deliberately does not match; poll()/accept() timeout
+# *parameters* are liveness bounds, not clock reads, and don't match either.
+NET_WALLCLOCK = re.compile(
+    r"std::chrono\b|\bsteady_clock\b|\bsystem_clock\b|\bhigh_resolution_clock\b"
+    r"|\bsleep_for\b|\bsleep_until\b|\bthis_thread\s*::\s*sleep"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\bnanosleep\s*\(|\busleep\s*\("
+    r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+)
+# SystemClock's implementation is the one place real time may enter net/.
+NET_CLOCK_ALLOWLIST_FILES = ("src/net/clock.cpp",)
 
 
 def function_body(text: str, open_brace: int) -> str:
@@ -164,6 +183,20 @@ def check_registry_only_construction(
             )
 
 
+def check_net_injected_clock(path: pathlib.Path, text: str, errors: list[str]) -> None:
+    posix = path.as_posix()
+    if not posix.startswith("src/net/") or posix in NET_CLOCK_ALLOWLIST_FILES:
+        return
+    for lineno, line in enumerate(strip_comments_and_strings(text).splitlines(), 1):
+        if NET_WALLCLOCK.search(line):
+            errors.append(
+                f"{path}:{lineno}: [net-injected-clock] the transport layer must "
+                "take time from the injected net::Clock (only src/net/clock.cpp "
+                "may touch the real clock); deterministic fault replay depends "
+                "on it"
+            )
+
+
 def main() -> int:
     root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     src = root / "src"
@@ -181,6 +214,7 @@ def main() -> int:
         check_pragma_once(rel, text, errors)
         check_ensure_on_entry(rel, text, errors)
         check_registry_only_construction(rel, text, errors)
+        check_net_injected_clock(rel, text, errors)
     for error in errors:
         print(error)
     if errors:
