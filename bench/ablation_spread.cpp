@@ -10,13 +10,15 @@
 //     load-bearing replica is down and its clients fail over (the benefit).
 #include <cstdio>
 
+#include <limits>
 #include <memory>
 
 #include "bench_util.h"
+#include "common/random.h"
 #include "core/evaluation.h"
 #include "placement/evaluate.h"
-#include "placement/online_clustering.h"
 #include "placement/spread.h"
+#include "placement/strategy.h"
 
 using namespace geored;
 
@@ -115,8 +117,8 @@ int main() {
 
       place::SpreadConfig spread_config;
       spread_config.min_spread_ms = spread_ms;
-      const place::SpreadConstrainedPlacement strategy(
-          std::make_unique<place::OnlineClusteringPlacement>(), spread_config);
+      const place::SpreadConstrainedPlacement strategy(place::make_strategy("online"),
+                                                       spread_config);
       const auto placement = strategy.place(input);
       normal_delay.add(place::true_average_delay(topology, placement, input.clients));
       const auto impact = worst_regional_outage(topology, placement, input.clients);

@@ -15,8 +15,8 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "core/evaluation.h"
-#include "placement/online_clustering.h"
 #include "placement/spread.h"
+#include "placement/strategy.h"
 #include "placement/write_aware.h"
 
 using namespace geored;
@@ -69,8 +69,7 @@ int main() {
       }
       input.summaries = summarizer.clusters();
 
-      const auto read_only =
-          place::OnlineClusteringPlacement().place(input);
+      const auto read_only = place::make_strategy("online")->place(input);
       place::WriteAwareConfig aware_config;
       aware_config.write_fraction = f;
       const auto aware = place::WriteAwarePlacement(aware_config).place(input);

@@ -13,6 +13,7 @@
 #include "core/system.h"
 #include "netcoord/embedding.h"
 #include "placement/spread.h"
+#include "placement/strategy.h"
 #include "topology/planetlab_model.h"
 
 using namespace geored;
@@ -133,8 +134,8 @@ int main() {
   input.summaries = summarizer.clusters();
   place::SpreadConfig spread_config;
   spread_config.min_spread_ms = 60.0;
-  place::SpreadConstrainedPlacement spread_strategy(
-      std::make_unique<place::OnlineClusteringPlacement>(), spread_config);
+  place::SpreadConstrainedPlacement spread_strategy(place::make_strategy("online"),
+                                                    spread_config);
   const auto spread_placement = spread_strategy.place(input);
   std::printf("SPREAD-CONSTRAINED placement (min 60 ms apart):");
   for (const auto node : spread_placement) std::printf(" dc%u", node);

@@ -1,0 +1,164 @@
+// Capability-annotated synchronization primitives: the only place in src/
+// that may name std::mutex or std::condition_variable directly (enforced by
+// tools/geored_lint.py, check naked-sync).
+//
+// Every lock relationship in geored is declared to Clang's Thread Safety
+// Analysis (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) through
+// the GEORED_* macros below, and Clang builds compile with
+// `-Wthread-safety -Werror=thread-safety` (CMake adds the flags whenever the
+// compiler is Clang; GCC builds see plain std primitives and the macros
+// expand to nothing). The result: touching a GEORED_GUARDED_BY field without
+// its mutex, or calling a GEORED_REQUIRES function without holding the lock,
+// is a compile error — not a hope that the tsan job's schedule hits it.
+// tests/common/sync_negative/ keeps the analysis itself honest by asserting
+// that representative violations fail to compile.
+//
+// Usage pattern:
+//
+//   class Account {
+//    public:
+//     void deposit(double amount) GEORED_EXCLUDES(mutex_) {
+//       const MutexLock lock(mutex_);
+//       balance_ += amount;
+//     }
+//    private:
+//     void audit() GEORED_REQUIRES(mutex_);  // caller must hold mutex_
+//     Mutex mutex_;
+//     double balance_ GEORED_GUARDED_BY(mutex_) = 0.0;
+//   };
+//
+// Condition waits are written as explicit while-loops over the guarded
+// predicate (`while (!ready_) cv_.wait(mutex_);`) rather than the
+// std::condition_variable predicate overload: a predicate lambda is analyzed
+// as an unannotated function and would trip the analysis on every guarded
+// read, while the open-coded loop keeps every access inside the annotated
+// caller. Spurious-wakeup safety is identical.
+#pragma once
+
+#include <condition_variable>  // lint: naked-sync-ok (the one wrapping site)
+#include <mutex>               // lint: naked-sync-ok (the one wrapping site)
+
+// Clang exposes the analysis attributes via __attribute__((capability(...)))
+// etc.; every other compiler sees empty token soup. The __has_attribute
+// probe (rather than a bare __clang__ test) keeps the header correct on
+// Clang builds old enough to lack an attribute.
+#if defined(__clang__) && defined(__has_attribute)
+#define GEORED_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define GEORED_THREAD_ANNOTATION__(x)
+#endif
+
+/// Declares a class to be a lockable capability (Mutex below).
+#define GEORED_CAPABILITY(x) GEORED_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class whose lifetime equals a critical section.
+#define GEORED_SCOPED_CAPABILITY GEORED_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define GEORED_GUARDED_BY(x) GEORED_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be touched while holding `x`.
+#define GEORED_PT_GUARDED_BY(x) GEORED_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them).
+#define GEORED_REQUIRES(...) \
+  GEORED_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be entered holding the listed capabilities (it will
+/// acquire them itself; calling with them held would deadlock).
+#define GEORED_EXCLUDES(...) GEORED_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define GEORED_ACQUIRE(...) GEORED_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held.
+#define GEORED_RELEASE(...) GEORED_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; the first argument is the return value
+/// that means "acquired".
+#define GEORED_TRY_ACQUIRE(...) \
+  GEORED_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Lock-ordering declarations (deadlock detection).
+#define GEORED_ACQUIRED_BEFORE(...) \
+  GEORED_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define GEORED_ACQUIRED_AFTER(...) \
+  GEORED_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define GEORED_RETURN_CAPABILITY(x) GEORED_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot follow (document why at every
+/// use site; the lint's job is to keep these rare).
+#define GEORED_NO_THREAD_SAFETY_ANALYSIS \
+  GEORED_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace geored {
+
+class CondVar;
+
+/// A standard mutex, visible to the analysis as a capability. Non-copyable,
+/// non-movable (a capability is an identity).
+class GEORED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GEORED_ACQUIRE() { mu_.lock(); }
+  void unlock() GEORED_RELEASE() { mu_.unlock(); }
+  bool try_lock() GEORED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII critical section over a Mutex: acquires in the constructor, releases
+/// in the destructor, no manual unlock surface. Temporary releases inside a
+/// held section (ThreadPool::drain) operate on the Mutex itself from a
+/// GEORED_REQUIRES context instead, which keeps this class's lock state
+/// unconditional — the shape the analysis verifies most precisely.
+class GEORED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GEORED_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() GEORED_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to Mutex. wait() takes the Mutex (not a lock
+/// object) so the requirement is statically checkable: callers loop over
+/// their guarded predicate while holding the mutex (see the header comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks until notified (or spuriously
+  /// woken), and re-acquires `mutex` before returning. The caller re-checks
+  /// its predicate in a while-loop as usual.
+  void wait(Mutex& mutex) GEORED_REQUIRES(mutex) {
+    // Adopt the already-held native mutex for the wait protocol, then
+    // release the adoption so the wrapper's ownership stays untouched.
+    std::unique_lock<std::mutex> relock(mutex.mu_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace geored

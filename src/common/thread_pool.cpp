@@ -10,8 +10,12 @@ namespace geored {
 
 namespace {
 
-std::mutex g_global_pool_mutex;
-std::unique_ptr<ThreadPool> g_global_pool;  // guarded by g_global_pool_mutex
+// The swap guard for the process-wide pool: global() materializes the pool
+// under it, set_global_thread_count replaces the pool under it. The
+// reference global() returns intentionally outlives the critical section —
+// that is exactly why set_global_thread_count refuses to swap a busy pool.
+Mutex g_global_pool_mutex;
+std::unique_ptr<ThreadPool> g_global_pool GEORED_GUARDED_BY(g_global_pool_mutex);
 
 // Set while this thread runs a chunk body, so nested data-parallel calls
 // can detect they are already inside parallel work and run inline.
@@ -29,7 +33,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   task_cv_.notify_all();
@@ -43,31 +47,34 @@ void ThreadPool::run_chunks(std::size_t n, const std::function<void(std::size_t)
     for (std::size_t c = 0; c < n; ++c) chunk_fn(c);
     return;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  GEORED_CHECK(task_ == nullptr, "nested or concurrent run_chunks on one ThreadPool");
-  task_ = &chunk_fn;
-  num_chunks_ = n;
-  next_chunk_ = 0;
-  completed_ = 0;
-  error_ = nullptr;
-  task_cv_.notify_all();
-  drain(lock);  // the caller participates
-  done_cv_.wait(lock, [this] { return completed_ == num_chunks_; });
-  task_ = nullptr;
-  num_chunks_ = 0;
-  if (error_) {
-    const std::exception_ptr error = error_;
+  std::exception_ptr error;
+  {
+    const MutexLock lock(mutex_);
+    GEORED_CHECK(task_ == nullptr, "nested or concurrent run_chunks on one ThreadPool");
+    task_ = &chunk_fn;
+    num_chunks_ = n;
+    next_chunk_ = 0;
+    completed_ = 0;
     error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
+    task_cv_.notify_all();
+    drain();  // the caller participates
+    while (completed_ != num_chunks_) done_cv_.wait(mutex_);
+    task_ = nullptr;
+    num_chunks_ = 0;
+    error = error_;
+    error_ = nullptr;
   }
+  if (error) std::rethrow_exception(error);
 }
 
-void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
+void ThreadPool::drain() {
   while (next_chunk_ < num_chunks_) {
     const std::size_t chunk = next_chunk_++;
     const std::function<void(std::size_t)>* task = task_;
-    lock.unlock();
+    // The chunk body runs outside the critical section; `task` is a pointer
+    // copied under the mutex and the pointee is immutable for the task's
+    // lifetime (run_chunks keeps the function alive until completion).
+    mutex_.unlock();
     std::exception_ptr thrown;
     const bool was_in_chunk = t_in_chunk;
     t_in_chunk = true;
@@ -77,7 +84,7 @@ void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
       thrown = std::current_exception();
     }
     t_in_chunk = was_in_chunk;
-    lock.lock();
+    mutex_.lock();
     if (thrown && !error_) error_ = thrown;
     ++completed_;
     if (completed_ == num_chunks_) done_cv_.notify_all();
@@ -85,11 +92,11 @@ void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (;;) {
-    task_cv_.wait(lock, [this] { return stop_ || next_chunk_ < num_chunks_; });
+    while (!stop_ && next_chunk_ >= num_chunks_) task_cv_.wait(mutex_);
     if (stop_) return;
-    drain(lock);
+    drain();
   }
 }
 
@@ -110,20 +117,20 @@ std::size_t ThreadPool::default_thread_count() {
 }
 
 bool ThreadPool::idle() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return task_ == nullptr;
 }
 
 bool ThreadPool::in_parallel_chunk() { return t_in_chunk; }
 
 ThreadPool& ThreadPool::global() {
-  const std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+  const MutexLock lock(g_global_pool_mutex);
   if (!g_global_pool) g_global_pool = std::make_unique<ThreadPool>();
   return *g_global_pool;
 }
 
 void ThreadPool::set_global_thread_count(std::size_t threads) {
-  const std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+  const MutexLock lock(g_global_pool_mutex);
   if (g_global_pool) {
     // A long-lived reference handed out by global() would dangle if the old
     // pool were destroyed mid-task; fail loudly instead.

@@ -27,13 +27,13 @@
 // inside a chunk remains an error.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace geored {
 
@@ -51,14 +51,17 @@ class ThreadPool {
   /// Total threads that execute work, including the caller of run_chunks.
   std::size_t thread_count() const { return workers_.size() + 1; }
 
-  /// True when no run_chunks task is in flight on this pool.
-  bool idle();
+  /// True when no run_chunks task is in flight on this pool. Safe to call
+  /// from any thread, including from inside a chunk body (the pool mutex is
+  /// released while chunk bodies run, so this cannot self-deadlock).
+  bool idle() GEORED_EXCLUDES(mutex_);
 
   /// Runs chunk_fn(c) for every c in [0, n) across the pool; the calling
   /// thread participates. Blocks until all chunks finish. If any chunk
   /// throws, the first exception (in completion order) is rethrown here
   /// after the remaining chunks have run.
-  void run_chunks(std::size_t n, const std::function<void(std::size_t)>& chunk_fn);
+  void run_chunks(std::size_t n, const std::function<void(std::size_t)>& chunk_fn)
+      GEORED_EXCLUDES(mutex_);
 
   /// GEORED_THREADS environment override if set (clamped to [1, 1024]),
   /// otherwise std::thread::hardware_concurrency() (at least 1).
@@ -80,20 +83,27 @@ class ThreadPool {
   static void set_global_thread_count(std::size_t threads);
 
  private:
-  void worker_loop();
-  /// Claims and runs chunks while any remain. Expects `lock` held; returns
-  /// with it held.
-  void drain(std::unique_lock<std::mutex>& lock);
+  void worker_loop() GEORED_EXCLUDES(mutex_);
+  /// Claims and runs chunks while any remain. Holds mutex_ on entry and
+  /// exit; temporarily releases it around each chunk body (which is why a
+  /// chunk body may safely call idle(), but never run_chunks on this pool —
+  /// the busy/idle protocol below would deadlock the caller on itself).
+  void drain() GEORED_REQUIRES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable task_cv_;  // workers: work available or stop
-  std::condition_variable done_cv_;  // caller: all chunks completed
-  const std::function<void(std::size_t)>* task_ = nullptr;
-  std::size_t num_chunks_ = 0;
-  std::size_t next_chunk_ = 0;
-  std::size_t completed_ = 0;
-  bool stop_ = false;
-  std::exception_ptr error_;
+  // The task protocol, all guarded by mutex_: run_chunks publishes
+  // task_/num_chunks_ and resets the shared chunk-claim counter next_chunk_;
+  // workers and the caller claim chunks under the mutex and bump completed_
+  // after each; the caller observes completion via done_cv_ and retires the
+  // task by nulling task_. stop_ is the workers' shutdown signal.
+  Mutex mutex_;
+  CondVar task_cv_;  // workers: work available or stop
+  CondVar done_cv_;  // caller: all chunks completed
+  const std::function<void(std::size_t)>* task_ GEORED_GUARDED_BY(mutex_) = nullptr;
+  std::size_t num_chunks_ GEORED_GUARDED_BY(mutex_) = 0;
+  std::size_t next_chunk_ GEORED_GUARDED_BY(mutex_) = 0;
+  std::size_t completed_ GEORED_GUARDED_BY(mutex_) = 0;
+  bool stop_ GEORED_GUARDED_BY(mutex_) = false;
+  std::exception_ptr error_ GEORED_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
 };
 

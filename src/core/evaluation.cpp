@@ -219,6 +219,19 @@ ExperimentResult run_experiment(const Environment& env, const ExperimentConfig& 
   }
   // Per-run results land in a fixed slot, so any thread count produces the
   // identical outcome.
+  //
+  // Concurrency contract of the fan-out below: this is the library's one
+  // sanctioned raw-std::thread site outside the pool and the RPC server.
+  // Workers share only the atomic run counter and the slot-disjoint per_run
+  // vector, so no capability (common/sync.h) is needed — there is no guarded
+  // state. run_once itself allocates all scratch (summarizers, simulators,
+  // per-run RPC servers) per call, never reusing it across runs, which is
+  // what makes the slots independent. Workers may still reach parallel_for
+  // (e.g. the rpc collector's fetch fan-out); the global pool serializes
+  // whole tasks, so concurrent run_chunks from two workers is rejected by
+  // the pool's busy check rather than silently interleaved — callers that
+  // combine threads > 1 with a pool-using collector must set
+  // GEORED_THREADS=1 (the pool then runs inline on each worker).
   std::vector<std::vector<double>> per_run(config.runs);
   std::size_t threads = config.threads == 0
                             ? std::max(1u, std::thread::hardware_concurrency())

@@ -77,6 +77,17 @@ class FleetManager {
   /// With a replica budget configured, afterwards measures each group's
   /// delay-by-degree curve and re-divides the budget; the new degrees take
   /// effect at the next epoch.
+  ///
+  /// FleetManager <-> ThreadPool invariants: run_epoch is an exclusive-access
+  /// entry point on each manager (see ReplicationManager's concurrency
+  /// contract), and the chunked fan-out touches each group from exactly one
+  /// chunk, so the exclusivity each group requires is met structurally —
+  /// no group-level lock exists or is needed. The pool chunks never call
+  /// run_chunks themselves (run_epoch's inner parallelism goes through
+  /// parallel_for, which runs inline inside a chunk), upholding the pool's
+  /// no-reentrancy rule. record paths (serve) are concurrent-safe per group
+  /// but must not overlap run_epochs: an epoch swaps the summarizers the
+  /// record paths feed.
   FleetEpochReport run_epochs(const std::set<topo::NodeId>& excluded = {});
 
  private:

@@ -84,6 +84,7 @@ void ReplicationManager::record_access(topo::NodeId replica, const Point& client
   GEORED_ENSURE(it != summarizers_.end(), "node does not currently hold a replica");
   GEORED_ENSURE(std::isfinite(data_weight) && data_weight >= 0.0,
                 "access weight must be finite and non-negative");
+  const MutexLock lock(ingest_mutex_);
   PendingBatch& batch = pending_[replica];
   batch.coords.push_back(client_coords);
   batch.weights.push_back(data_weight);
@@ -106,6 +107,7 @@ void ReplicationManager::record_access_batch(topo::NodeId replica, const PointSe
                   "access weight must be finite and non-negative");
   }
   const std::size_t n = client_coords.size();
+  const MutexLock lock(ingest_mutex_);
   PendingBatch& batch = pending_[replica];
   for (std::size_t i = 0; i < n; ++i) {
     batch.coords.push_back_row(client_coords.row(i), client_coords.dim());
@@ -120,11 +122,18 @@ void ReplicationManager::record_access_batch(topo::NodeId replica, const PointSe
 }
 
 void ReplicationManager::flush_ingest() const {
+  const MutexLock lock(ingest_mutex_);
+  flush_ingest_locked();
+}
+
+void ReplicationManager::flush_ingest_locked() const {
   // Gather the replicas with staged accesses in map (node-id) order so the
   // work list — and thus which summarizer each parallel chunk touches — is
   // deterministic. Each replica's stream ingests sequentially in recorded
   // order; replicas are independent, so any thread count yields bytewise
-  // the same summaries.
+  // the same summaries. The ingest mutex stays held across the parallel
+  // ingest (chunks never take it), so concurrent record calls wait for the
+  // flush instead of staging into batches mid-drain.
   std::vector<std::pair<PendingBatch*, cluster::MicroClusterSummarizer*>> work;
   work.reserve(pending_.size());
   for (auto& [node, batch] : pending_) {
@@ -173,9 +182,9 @@ double ReplicationManager::estimate_average_delay(
   return accesses > 0.0 ? total / accesses : 0.0;
 }
 
-void ReplicationManager::maybe_adjust_degree() {
+void ReplicationManager::maybe_adjust_degree(std::uint64_t epoch_accesses) {
   if (!config_.dynamic_degree) return;
-  const auto accesses = static_cast<double>(epoch_accesses_);
+  const auto accesses = static_cast<double>(epoch_accesses);
   const auto replicas = static_cast<double>(degree_);
   if (accesses > config_.grow_accesses_per_replica * replicas &&
       degree_ < config_.max_degree) {
@@ -235,7 +244,7 @@ void ReplicationManager::save(ByteWriter& writer) const {
   writer.write_u32(kCheckpointMagic);
   writer.write_u32(kCheckpointVersion);
   writer.write_u64(epoch_index_);
-  writer.write_u64(epoch_accesses_);
+  writer.write_u64(this->epoch_accesses());
   writer.write_u64(degree_);
   writer.write_u32(static_cast<std::uint32_t>(placement_.size()));
   for (const auto node : placement_) writer.write_u32(node);
@@ -289,7 +298,10 @@ void ReplicationManager::restore(ByteReader& reader) {
   }
   // All parsed and validated: commit.
   epoch_index_ = epoch_index;
-  epoch_accesses_ = epoch_accesses;
+  {
+    const MutexLock lock(ingest_mutex_);
+    epoch_accesses_ = epoch_accesses;
+  }
   degree_ = degree;
   placement_ = std::move(placement);
   summarizers_ = std::move(summarizers);
@@ -300,7 +312,7 @@ EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded
   flush_ingest();
   EpochReport report;
   report.old_placement = placement_;
-  report.epoch_accesses = epoch_accesses_;
+  report.epoch_accesses = epoch_accesses();
 
   // Candidates usable this epoch.
   std::vector<place::CandidateInfo> usable;
@@ -318,7 +330,7 @@ EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded
   //    collectors see the k actually in force this epoch; collection reads
   //    neither the degree nor the access counter, so the order cannot
   //    change results.
-  maybe_adjust_degree();
+  maybe_adjust_degree(report.epoch_accesses);
   report.degree = degree_;
 
   // 2. Collect summaries from every replica (and account their wire size —
@@ -376,7 +388,10 @@ EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded
   }
   report.adopted_placement = placement_;
 
-  epoch_accesses_ = 0;
+  {
+    const MutexLock lock(ingest_mutex_);
+    epoch_accesses_ = 0;
+  }
   ++epoch_index_;
   return report;
 }

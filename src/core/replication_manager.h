@@ -13,6 +13,16 @@
 // accesses to it (serve / record_access) and invoke run_epoch() on whatever
 // schedule they like. `core/system.h` wires it into the discrete-event
 // simulator; a real deployment would wire it to RPC handlers the same way.
+//
+// Concurrency contract (capability-annotated, see common/sync.h): the
+// *record* paths — serve / record_access / record_access_batch — may be
+// called concurrently from any number of threads; staging is serialized on
+// an internal mutex, so no accesses are lost or corrupted (the interleaving
+// order across threads is the scheduler's, so bit-reproducibility holds
+// only for externally ordered streams). The *epoch and checkpoint* paths —
+// run_epoch / save / restore / summary_of / delay_by_degree_curve — require
+// exclusive access to the manager: they read and replace the summarizers
+// the record paths feed.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +36,7 @@
 #include "cluster/summarizer.h"
 #include "common/point_set.h"
 #include "common/serialize.h"
+#include "common/sync.h"
 #include "core/epoch_pipeline.h"
 #include "core/migration.h"
 #include "placement/online_clustering.h"
@@ -129,20 +140,21 @@ class ReplicationManager {
   /// ManagerConfig::ingest_batch_grain; results are identical to immediate
   /// ingestion (see flush_ingest).
   void record_access(topo::NodeId replica, const Point& client_coords,
-                     double data_weight = 1.0);
+                     double data_weight = 1.0) GEORED_EXCLUDES(ingest_mutex_);
 
   /// Records a whole chunk of accesses served by `replica`: row i of
   /// `client_coords` with data_weights[i] (or 1.0 per row when
   /// `data_weights` is empty). Equivalent to record_access per row in
   /// order; the batch form skips the per-access staging overhead.
   void record_access_batch(topo::NodeId replica, const PointSet& client_coords,
-                           std::span<const double> data_weights = {});
+                           std::span<const double> data_weights = {})
+      GEORED_EXCLUDES(ingest_mutex_);
 
   /// Ingests every staged access into its replica's summarizer (in recorded
   /// order per replica; replicas in parallel on the deterministic thread
   /// pool). Called automatically by every state-reading entry point, so it
   /// only needs to be called directly when benchmarking ingestion itself.
-  void flush_ingest() const;
+  void flush_ingest() const GEORED_EXCLUDES(ingest_mutex_);
 
   /// Micro-clusters currently held for `replica` (observability / tests).
   const std::vector<cluster::MicroCluster>& summary_of(topo::NodeId replica) const;
@@ -159,7 +171,10 @@ class ReplicationManager {
   EpochReport run_epoch(const std::set<topo::NodeId>& excluded = {});
 
   /// Accesses recorded since the last epoch.
-  std::uint64_t epoch_accesses() const { return epoch_accesses_; }
+  std::uint64_t epoch_accesses() const GEORED_EXCLUDES(ingest_mutex_) {
+    const MutexLock lock(ingest_mutex_);
+    return epoch_accesses_;
+  }
 
   /// Sets the degree an external allocator (e.g. FleetManager's replica
   /// budget) granted this object, clamped to the configured bounds. Takes
@@ -197,7 +212,9 @@ class ReplicationManager {
   double estimate_average_delay(const place::Placement& placement,
                                 const std::vector<cluster::MicroCluster>& summaries) const;
   const place::CandidateInfo& candidate_info(topo::NodeId node) const;
-  void maybe_adjust_degree();
+  void maybe_adjust_degree(std::uint64_t epoch_accesses);
+  /// The flush body; the public flush_ingest() is the locking shell.
+  void flush_ingest_locked() const GEORED_REQUIRES(ingest_mutex_);
 
   std::vector<place::CandidateInfo> candidates_;
   ManagerConfig config_;
@@ -207,10 +224,17 @@ class ReplicationManager {
   place::Placement placement_;
   /// mutable with pending_: staging is a cache layout, not observable
   /// state — const readers flush it so summaries never depend on the grain.
+  /// Not guarded: mutated only by the epoch/checkpoint paths (exclusive by
+  /// contract) and by ingestion, which always runs under ingest_mutex_.
   mutable std::map<topo::NodeId, cluster::MicroClusterSummarizer> summarizers_;
-  mutable std::map<topo::NodeId, PendingBatch> pending_;
+  /// Guards the concurrent-safe staging state: the per-replica pending
+  /// batches and the access counter the record paths bump. Held across a
+  /// whole flush (including its parallel_for — pool chunks never take it),
+  /// so records observe either pre- or post-flush staging, never a torn one.
+  mutable Mutex ingest_mutex_;
+  mutable std::map<topo::NodeId, PendingBatch> pending_ GEORED_GUARDED_BY(ingest_mutex_);
   EpochPipeline pipeline_;
-  std::uint64_t epoch_accesses_ = 0;
+  std::uint64_t epoch_accesses_ GEORED_GUARDED_BY(ingest_mutex_) = 0;
 };
 
 }  // namespace geored::core

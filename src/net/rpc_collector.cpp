@@ -10,6 +10,7 @@
 
 #include "common/ensure.h"
 #include "common/serialize.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "net/frame.h"
 #include "net/socket.h"
@@ -59,7 +60,14 @@ class SummaryServer {
   ~SummaryServer() {
     stop_.store(true);
     accept_thread_.join();
-    for (auto& handler : handlers_) handler.join();
+    // The accept loop is done, but the annotation (not the join ordering) is
+    // what guarantees no handler registration races this drain.
+    std::vector<std::thread> handlers;
+    {
+      const MutexLock lock(handlers_mutex_);
+      handlers.swap(handlers_);
+    }
+    for (auto& handler : handlers) handler.join();
   }
 
   SummaryServer(const SummaryServer&) = delete;
@@ -72,6 +80,7 @@ class SummaryServer {
     while (!stop_.load()) {
       std::optional<Socket> conn = listener_.accept(kAcceptTickMs);
       if (!conn) continue;
+      const MutexLock lock(handlers_mutex_);
       handlers_.emplace_back(
           [this](Socket socket) { handle(std::move(socket)); }, std::move(*conn));
     }
@@ -128,9 +137,11 @@ class SummaryServer {
   int request_timeout_ms_;
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
-  /// Owned by the accept loop; the destructor reads it only after joining
-  /// accept_thread_, so no lock is needed.
-  std::vector<std::thread> handlers_;
+  /// Registered by the accept loop, drained by the destructor. The join
+  /// ordering alone would make this safe today; the capability annotation
+  /// keeps it safe when a second registration path appears.
+  Mutex handlers_mutex_;
+  std::vector<std::thread> handlers_ GEORED_GUARDED_BY(handlers_mutex_);
 };
 
 /// One source's fate after the retry loop, plus its share of the counters.
@@ -223,7 +234,10 @@ RpcCollector::RpcCollector(RpcCollectorConfig config, std::shared_ptr<Clock> clo
 
 core::CollectedSummaries RpcCollector::collect(const std::vector<core::SummarySource>& sources,
                                                const core::CollectionContext& context) {
-  stats_ = RpcStats{};
+  {
+    const MutexLock lock(mutex_);
+    stats_ = RpcStats{};
+  }
   core::CollectedSummaries collected;
   if (sources.empty()) return collected;
 
@@ -252,6 +266,10 @@ core::CollectedSummaries RpcCollector::collect(const std::vector<core::SummarySo
     // Server (and every handler thread) joins here, before results are read.
   }
 
+  // Accounting pass: every fetch thread has joined (the server's scope
+  // ended), so the per-source slots are quiescent; the collector-lifetime
+  // stats and stale-payload cache are updated under their mutex.
+  const MutexLock lock(mutex_);
   for (std::size_t i = 0; i < sources.size(); ++i) {
     FetchResult& result = results[i];
     stats_.requests_sent += result.requests_sent;

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/epoch_pipeline.h"
 #include "net/clock.h"
 #include "net/fault_injector.h"
@@ -46,10 +47,16 @@ class RpcCollector final : public core::SummaryCollector {
   /// summary_bytes counts only bytes that crossed the wire this round;
   /// stale fallbacks reuse bytes paid for in an earlier epoch.
   core::CollectedSummaries collect(const std::vector<core::SummarySource>& sources,
-                                   const core::CollectionContext& context) override;
+                                   const core::CollectionContext& context) override
+      GEORED_EXCLUDES(mutex_);
 
-  /// Counters from the most recent collect() round.
-  const RpcStats& last_stats() const { return stats_; }
+  /// Counters from the most recent collect() round (a snapshot: the stats
+  /// and the stale-fallback cache are mutex-guarded, so observing them from
+  /// another thread mid-collect returns the last consistent state).
+  RpcStats last_stats() const GEORED_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    return stats_;
+  }
 
   const RpcCollectorConfig& config() const { return config_; }
 
@@ -57,11 +64,17 @@ class RpcCollector final : public core::SummaryCollector {
   RpcCollectorConfig config_;
   FaultInjector injector_;
   std::shared_ptr<Clock> clock_;
-  RpcStats stats_;
+  /// Guards the cross-epoch collector state: the per-round counters and the
+  /// stale-fallback payload cache. The per-source fetch results themselves
+  /// need no lock (index-disjoint slots); the guarded phase is the
+  /// accounting pass that folds them into stats_/last_good_ after the
+  /// server has joined.
+  mutable Mutex mutex_;
+  RpcStats stats_ GEORED_GUARDED_BY(mutex_);
   /// Per-replica last successfully collected payload — the stale-fallback
   /// store. Keyed by node id so it survives placement changes; if two
   /// sources ever share a node the later one wins.
-  std::map<topo::NodeId, std::vector<std::uint8_t>> last_good_;
+  std::map<topo::NodeId, std::vector<std::uint8_t>> last_good_ GEORED_GUARDED_BY(mutex_);
 };
 
 }  // namespace geored::net

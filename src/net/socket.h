@@ -8,6 +8,17 @@
 // the kernel does the queueing. Hard I/O errors throw SocketError; orderly
 // peer shutdown and expired waits are ordinary IoStatus results, because the
 // fault-tolerant collector treats them as routine.
+//
+// Thread compatibility (deliberately NOT thread safety): a Socket or
+// Listener is a move-only single-owner resource with no internal locking —
+// exactly one thread may use an instance at a time, and ownership transfer
+// (handing an accepted Socket to a handler thread) is the only supported
+// cross-thread interaction. This is why the classes carry no capability
+// annotations from common/sync.h: there is no shared state to guard, and
+// adding a mutex here would paper over an ownership bug rather than fix it.
+// Concurrent use of *distinct* instances is always safe. The RPC layer
+// upholds the contract structurally: each fetch owns its client socket, and
+// each server handler thread owns the accepted connection it was moved.
 #pragma once
 
 #include <cstddef>

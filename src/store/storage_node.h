@@ -3,6 +3,7 @@
 // whole object group to a new replica during migration.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -20,15 +21,21 @@ class StorageNode {
   /// Current value (exists() == false when the key is unknown here).
   VersionedValue read(ObjectId id) const;
 
-  /// All objects of one group, for migration transfers. `group_of` maps an
-  /// object to its group id.
+  /// All objects of one group, for migration transfers, sorted by object id.
+  /// `group_of` maps an object to its group id. The sort matters: data_ is
+  /// an unordered map, and a migration snapshot in hash-table order would
+  /// make transfer event sequences (and anything serialized from them)
+  /// depend on the allocator — the determinism lint flags exactly this
+  /// pattern (unordered iteration feeding an output path).
   template <typename GroupFn>
   std::vector<std::pair<ObjectId, VersionedValue>> export_group(std::uint32_t group,
                                                                 const GroupFn& group_of) const {
     std::vector<std::pair<ObjectId, VersionedValue>> out;
-    for (const auto& [id, value] : data_) {
+    for (const auto& [id, value] : data_) {  // lint: unordered-iter-ok (sorted below)
       if (group_of(id) == group) out.emplace_back(id, value);
     }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     return out;
   }
 
@@ -45,7 +52,8 @@ class StorageNode {
   template <typename GroupFn>
   std::size_t group_bytes(std::uint32_t group, const GroupFn& group_of) const {
     std::size_t total = 0;
-    for (const auto& [id, value] : data_) {
+    // Order-insensitive reduction (a sum), so hash order cannot leak out.
+    for (const auto& [id, value] : data_) {  // lint: unordered-iter-ok
       if (group_of(id) == group) total += value.data.size() + sizeof(Version) + sizeof(ObjectId);
     }
     return total;

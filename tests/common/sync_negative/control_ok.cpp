@@ -1,0 +1,45 @@
+// Control case: correct annotated code exercising every primitive the
+// negative cases misuse (guarded fields, REQUIRES helpers, EXCLUDES entry
+// points, CondVar waits). It must compile CLEANLY under
+// -Werror=thread-safety — if it did not, the negative cases' failures would
+// prove nothing (any broken include path or bad flag would "fail" them too).
+#include "common/sync.h"
+
+namespace {
+
+class Mailbox {
+ public:
+  void post(int message) GEORED_EXCLUDES(mutex_) {
+    const geored::MutexLock lock(mutex_);
+    value_ = message;
+    has_value_ = true;
+    commit_locked();
+    cv_.notify_all();
+  }
+
+  int take() GEORED_EXCLUDES(mutex_) {
+    const geored::MutexLock lock(mutex_);
+    // Open-coded predicate loop: the analysis sees every guarded read
+    // happen while mutex_ is held (see common/sync.h header comment).
+    while (!has_value_) cv_.wait(mutex_);
+    has_value_ = false;
+    return value_;
+  }
+
+ private:
+  void commit_locked() GEORED_REQUIRES(mutex_) { ++commits_; }
+
+  geored::Mutex mutex_;
+  geored::CondVar cv_;
+  int value_ GEORED_GUARDED_BY(mutex_) = 0;
+  bool has_value_ GEORED_GUARDED_BY(mutex_) = false;
+  int commits_ GEORED_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Mailbox mailbox;
+  mailbox.post(42);
+  return mailbox.take() == 42 ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+// Negative-compile case: calling a GEORED_REQUIRES function without holding
+// the required mutex. Under Clang with -Werror=thread-safety this must FAIL
+// to compile; under other compilers the harness skips.
+//
+// This is the exact shape of ThreadPool::drain() — a private helper whose
+// whole contract is "the pool mutex is held" — so this case guards the
+// annotation pattern the library leans on hardest.
+#include "common/sync.h"
+
+namespace {
+
+class Queue {
+ public:
+  void push_without_lock() {
+    push_locked();  // BAD: push_locked requires mutex_, which is not held.
+  }
+
+  void push() GEORED_EXCLUDES(mutex_) {
+    const geored::MutexLock lock(mutex_);
+    push_locked();  // fine: the scoped capability satisfies the requirement
+  }
+
+ private:
+  void push_locked() GEORED_REQUIRES(mutex_) { ++size_; }
+
+  geored::Mutex mutex_;
+  int size_ GEORED_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.push_without_lock();
+  queue.push();
+  return 0;
+}

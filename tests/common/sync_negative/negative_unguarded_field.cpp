@@ -1,0 +1,35 @@
+// Negative-compile case: touching a GEORED_GUARDED_BY field without holding
+// its mutex. Under Clang with -Werror=thread-safety this must FAIL to
+// compile (the harness asserts the diagnostic is a thread-safety one); under
+// any other compiler the annotations are no-ops and the harness skips.
+//
+// Keep this file minimal and otherwise valid C++: the only defect must be
+// the annotation violation, so the harness's "failed for the right reason"
+// check stays meaningful.
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment_unlocked() {
+    ++value_;  // BAD: value_ is guarded by mutex_, which is not held here.
+  }
+
+  int read_locked() GEORED_EXCLUDES(mutex_) {
+    const geored::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  geored::Mutex mutex_;
+  int value_ GEORED_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment_unlocked();
+  return counter.read_locked();
+}

@@ -1,0 +1,50 @@
+# Runs one negative-compile case of the thread-safety annotation harness.
+#
+# Invoked by ctest as
+#   cmake -DCXX=<compiler> -DINCLUDE_DIR=<repo>/src -DSRC=<case>.cpp
+#         -DEXPECT=PASS|FAIL -P run_case.cmake
+# (Clang only — the configure step registers a skip stub for other
+# compilers, because the annotations expand to nothing there and every
+# "negative" case would compile clean.)
+#
+# EXPECT=FAIL demands two things: the syntax-only compile fails, AND the
+# diagnostic is a thread-safety one. A case failing for any other reason
+# (bad include path, C++ error in the test source) is a harness bug and
+# fails the test with the compiler output attached.
+
+foreach(var CXX INCLUDE_DIR SRC EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_case.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CXX} -std=c++20 -fsyntax-only
+          -Wthread-safety -Werror=thread-safety
+          -I${INCLUDE_DIR} ${SRC}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+
+if(EXPECT STREQUAL "FAIL")
+  if(exit_code EQUAL 0)
+    message(FATAL_ERROR
+      "${SRC}: expected a thread-safety violation but it compiled clean — "
+      "the annotations are not being enforced")
+  endif()
+  if(NOT stderr MATCHES "thread-safety")
+    message(FATAL_ERROR
+      "${SRC}: compile failed, but not with a thread-safety diagnostic — "
+      "the case is broken, not the analysis.\n${stderr}")
+  endif()
+  message(STATUS "${SRC}: rejected with a thread-safety diagnostic, as required")
+elseif(EXPECT STREQUAL "PASS")
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+      "${SRC}: control case must compile cleanly under -Werror=thread-safety "
+      "(otherwise the negative cases prove nothing).\n${stderr}")
+  endif()
+  message(STATUS "${SRC}: compiled clean, as required")
+else()
+  message(FATAL_ERROR "run_case.cmake: EXPECT must be PASS or FAIL, got '${EXPECT}'")
+endif()

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/ensure.h"
@@ -73,6 +74,45 @@ TEST(ThreadPool, ReplacingBusyGlobalPoolFailsLoudly) {
   EXPECT_THROW(ThreadPool::global().run_chunks(
                    8, [](std::size_t) { ThreadPool::set_global_thread_count(4); }),
                InternalError);
+}
+
+TEST(ThreadPool, IdleFromInsideChunkReportsBusyWithoutDeadlock) {
+  // idle() takes the pool mutex, which drain() releases around every chunk
+  // body — so a chunk may ask "is the pool idle" without self-deadlocking,
+  // and the answer while any task is in flight is no. The test proves the
+  // no-deadlock half by completing at all, and the answer half by counting.
+  ThreadPool pool(3);
+  std::atomic<int> saw_busy{0};
+  pool.run_chunks(6, [&](std::size_t) {
+    if (!pool.idle()) saw_busy.fetch_add(1);
+  });
+  EXPECT_EQ(saw_busy.load(), 6);
+  EXPECT_TRUE(pool.idle());
+}
+
+TEST(ThreadPool, ReplacingGlobalPoolRacedFromAnotherThreadThrows) {
+  GlobalPoolGuard guard;
+  ThreadPool::set_global_thread_count(3);
+  // The cross-thread variant of ReplacingBusyGlobalPoolFailsLoudly: one
+  // thread holds chunks in flight while another tries to swap the pool.
+  // The swap must throw InternalError — destroying the busy pool would
+  // leave the runner's run_chunks using freed memory.
+  std::atomic<bool> release{false};
+  std::atomic<int> started{0};
+  std::thread runner([&] {
+    ThreadPool::global().run_chunks(3, [&](std::size_t) {
+      started.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  // Any chunk having started proves run_chunks is committed (task_ set).
+  while (started.load() == 0) std::this_thread::yield();
+  EXPECT_THROW(ThreadPool::set_global_thread_count(2), InternalError);
+  release.store(true);
+  runner.join();
+  // Quiescent again: the swap must now succeed.
+  ThreadPool::set_global_thread_count(2);
+  EXPECT_EQ(ThreadPool::global().thread_count(), 2u);
 }
 
 TEST(ThreadPool, ParallelForCoversRangeWithoutOverlap) {

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <limits>
 #include <set>
+#include <thread>
 
 #include "common/random.h"
 
@@ -73,6 +75,66 @@ TEST(Manager, RecordAccessRejectsNonReplica) {
   }
   EXPECT_THROW(manager.record_access(not_a_replica, Point{0.0}), std::invalid_argument);
   EXPECT_THROW(manager.summary_of(not_a_replica), std::invalid_argument);
+}
+
+// Named apart from `Manager` so the tsan CI tier (which runs suites by
+// name) picks it up: the whole point of this suite is what the sanitizer
+// sees when many threads hit the staging paths at once.
+TEST(IngestConcurrency, ConcurrentRecordPathsLoseNothing) {
+  ReplicationManager manager(line_candidates(), small_config(2), 7);
+  const auto placement = manager.placement();  // copy: threads use it freely
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kBatchesPerThread = 32;
+  constexpr std::size_t kRowsPerBatch = 16;
+  // Every thread records batches and single accesses against both replicas
+  // concurrently — the manager's ingest mutex must serialize the staging so
+  // the total is exact (no torn batch, no lost bump).
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t b = 0; b < kBatchesPerThread; ++b) {
+        const topo::NodeId replica = placement[(t + b) % placement.size()];
+        PointSet batch;
+        for (std::size_t r = 0; r < kRowsPerBatch; ++r) {
+          batch.push_back(Point{100.0 * static_cast<double>((t + r) % 10)});
+        }
+        manager.record_access_batch(replica, batch);
+        manager.record_access(placement[t % placement.size()],
+                              Point{50.0 * static_cast<double>(t)});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(manager.epoch_accesses(),
+            kThreads * kBatchesPerThread * (kRowsPerBatch + 1));
+  // The staged accesses must all reach summarizers and the epoch must run
+  // cleanly on them.
+  const EpochReport report = manager.run_epoch();
+  EXPECT_EQ(report.epoch_accesses, kThreads * kBatchesPerThread * (kRowsPerBatch + 1));
+  EXPECT_EQ(manager.epoch_accesses(), 0u);
+}
+
+TEST(IngestConcurrency, RecordsDuringFlushAreNotTorn) {
+  // Readers (flush_ingest via epoch_accesses/summary_of) interleave with
+  // writers; under tsan this is the schedule that catches a forgotten lock
+  // on the flush path.
+  ReplicationManager manager(line_candidates(), small_config(2), 11);
+  const auto placement = manager.placement();
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      manager.flush_ingest();
+      std::this_thread::yield();
+    }
+  });
+  constexpr std::size_t kAccesses = 512;
+  for (std::size_t i = 0; i < kAccesses; ++i) {
+    manager.record_access(placement[i % placement.size()],
+                          Point{100.0 * static_cast<double>(i % 10)});
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(manager.epoch_accesses(), kAccesses);
 }
 
 TEST(Manager, EpochMigratesTowardsClientPopulation) {

@@ -1,7 +1,14 @@
 #!/usr/bin/env python3
 """Repo-convention lint for geored.
 
-Checks, over src/ (the library — tests/bench/examples have their own idioms):
+Checks 1-3 and 5 also cover bench/, examples/, and the CLI
+(tools/geored.cpp): drivers ship alongside the library and must model its
+idioms — a raw assert in an example teaches users the wrong pattern, and an
+unseeded RNG in a bench makes its numbers unreproducible. Checks 4 and 6
+stay src/-only: entry-point validation is a library-API contract, and bench
+timing loops legitimately read the real clock.
+
+Checks, over src/ (the library — tests have their own idioms):
 
   1. no-raw-assert      No raw `assert(...)`: invariants must use
                         GEORED_ENSURE / GEORED_CHECK / GEORED_DCHECK so they
@@ -32,7 +39,9 @@ Checks, over src/ (the library — tests/bench/examples have their own idioms):
                         under test. Unseeded randomness is already banned
                         repo-wide by check 2.
 
-Exit status is 0 when clean, 1 when any violation is found.
+Exit status is 0 when clean, 1 when any violation is found, 2 on usage
+errors — including finding zero files to lint, because a silently-empty run
+would read as a pass.
 Usage: tools/lint_conventions.py [repo-root]
 """
 
@@ -197,16 +206,36 @@ def check_net_injected_clock(path: pathlib.Path, text: str, errors: list[str]) -
             )
 
 
-def main() -> int:
-    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+def collect_files(root: pathlib.Path) -> tuple[list[pathlib.Path], list[pathlib.Path]]:
+    """(library files — all checks; driver files — the shared subset)."""
     src = root / "src"
     if not src.is_dir():
         print(f"error: {src} is not a directory", file=sys.stderr)
+        raise SystemExit(2)
+    library = [p for p in sorted(src.rglob("*")) if p.suffix in (".cpp", ".h")]
+    drivers: list[pathlib.Path] = []
+    for tree in ("bench", "examples"):
+        tree_dir = root / tree
+        if tree_dir.is_dir():
+            drivers.extend(p for p in sorted(tree_dir.rglob("*")) if p.suffix in (".cpp", ".h"))
+    cli = root / "tools" / "geored.cpp"
+    if cli.is_file():
+        drivers.append(cli)
+    return library, drivers
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    library, drivers = collect_files(root)
+    if not library:
+        print(
+            f"error: found no .cpp/.h files under {root / 'src'} — an empty "
+            "lint run would falsely read as a pass; check the path argument",
+            file=sys.stderr,
+        )
         return 2
     errors: list[str] = []
-    for path in sorted(src.rglob("*")):
-        if path.suffix not in (".cpp", ".h"):
-            continue
+    for path in library:
         text = path.read_text(encoding="utf-8")
         rel = path.relative_to(root)
         check_no_raw_assert(rel, text, errors)
@@ -215,6 +244,13 @@ def main() -> int:
         check_ensure_on_entry(rel, text, errors)
         check_registry_only_construction(rel, text, errors)
         check_net_injected_clock(rel, text, errors)
+    for path in drivers:
+        text = path.read_text(encoding="utf-8")
+        rel = path.relative_to(root)
+        check_no_raw_assert(rel, text, errors)
+        check_no_unseeded_rng(rel, text, errors)
+        check_pragma_once(rel, text, errors)
+        check_registry_only_construction(rel, text, errors)
     for error in errors:
         print(error)
     if errors:

@@ -29,6 +29,20 @@ if [[ -z "${build_dir}" || ! -f "${build_dir}/compile_commands.json" ]]; then
   exit 2
 fi
 
+# Fail fast on a stale database: tidy findings against yesterday's flags or
+# file list are noise at best and silently skip new sources at worst. Any
+# checked-in CMakeLists.txt newer than the database means the build graph
+# may have changed since it was generated.
+db="${build_dir}/compile_commands.json"
+while IFS= read -r cmakelists; do
+  if [[ "${cmakelists}" -nt "${db}" ]]; then
+    echo "error: ${db} is older than ${cmakelists};" >&2
+    echo "  re-run cmake in ${build_dir} to regenerate the database" >&2
+    exit 2
+  fi
+done < <(find "${repo_root}" -path "${repo_root}/build" -prune -o \
+         -name 'CMakeLists.txt' -print)
+
 tidy_bin="${CLANG_TIDY:-}"
 if [[ -z "${tidy_bin}" ]]; then
   for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
