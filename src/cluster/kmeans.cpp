@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/ensure.h"
 #include "common/point_set.h"
 #include "common/thread_pool.h"
@@ -35,7 +36,7 @@ bool centroids_finite(const PointSet& centroids, std::size_t dim) {
 /// per solve so the hot loops never chase per-Point heap allocations.
 struct FlatPoints {
   PointSet positions;
-  std::vector<double> weights;
+  std::vector<double> weights;  // lint: alloc-ok (SoA built once per solve)
 };
 
 FlatPoints flatten(const std::vector<WeightedPoint>& points) {
@@ -53,9 +54,8 @@ FlatPoints flatten(const std::vector<WeightedPoint>& points) {
 /// Per-point squared distance to the nearest centroid (parallel, per-point
 /// writes) followed by a sequential weighted sum in point order — the exact
 /// accumulation order of the scalar kmeans_objective.
-double objective_of(const FlatPoints& points, const PointSet& centroids,
-                    std::vector<double>& best_dist_sq,
-                    std::vector<std::size_t>* assignment = nullptr) {
+double objective_of(const FlatPoints& points, const PointSet& centroids, double* best_dist_sq,
+                    std::size_t* assignment = nullptr) {
   const std::size_t n = points.positions.size();
   parallel_for(
       n,
@@ -63,7 +63,7 @@ double objective_of(const FlatPoints& points, const PointSet& centroids,
         for (std::size_t i = begin; i < end; ++i) {
           const std::size_t nearest =
               centroids.nearest_of(points.positions.row(i), &best_dist_sq[i]);
-          if (assignment != nullptr) (*assignment)[i] = nearest;
+          if (assignment != nullptr) assignment[i] = nearest;
         }
       },
       kMinParallelPoints);
@@ -81,10 +81,12 @@ PointSet kmeanspp_seed(const FlatPoints& points, std::size_t k, Rng& rng) {
   centroids.reserve(k);
   centroids.push_back(points.positions.point(rng.weighted_index(points.weights)));
 
-  std::vector<double> dist_sq(n, std::numeric_limits<double>::infinity());
-  // Scratch hoisted out of the seeding loop instead of reallocating per
-  // chosen centroid.
-  std::vector<double> probs(n);
+  // Seeding scratch lives on the thread's epoch arena: taken once per call,
+  // reused across the chosen-centroid loop, returned wholesale at scope exit.
+  ArenaScope scope;
+  double* dist_sq = scope.span<double>(n);
+  std::fill(dist_sq, dist_sq + n, std::numeric_limits<double>::infinity());
+  double* probs = scope.span<double>(n);
   while (centroids.size() < k) {
     const double* last = centroids.row(centroids.size() - 1);
     parallel_for(
@@ -101,7 +103,7 @@ PointSet kmeanspp_seed(const FlatPoints& points, std::size_t k, Rng& rng) {
       total += probs[i];
     }
     if (total <= 0.0) break;  // all remaining mass sits on chosen centroids
-    centroids.push_back(points.positions.point(rng.weighted_index(probs)));
+    centroids.push_back(points.positions.point(rng.weighted_index(probs, n)));
   }
   return centroids;
 }
@@ -116,11 +118,11 @@ KMeansResult lloyd_scalar(const FlatPoints& points, PointSet centroids,
   const std::size_t k = centroids.size();
   double total_weight = 0.0;
   for (const double w : points.weights) total_weight += w;
-  std::vector<std::size_t> assignment(n, 0);
+  std::vector<std::size_t> assignment(n, 0);  // lint: alloc-ok (frozen scalar reference)
   // Accumulators reused across iterations instead of reallocating each one.
-  std::vector<double> sums(k * dim);
-  std::vector<double> cluster_weight(k);
-  std::vector<double> best_dist_sq(n);
+  std::vector<double> sums(k * dim);              // lint: alloc-ok (frozen scalar reference)
+  std::vector<double> cluster_weight(k);          // lint: alloc-ok (frozen scalar reference)
+  std::vector<double> best_dist_sq(n);            // lint: alloc-ok (frozen scalar reference)
   double prev_objective = std::numeric_limits<double>::infinity();
   std::size_t iterations = 0;
   // The convergence objective at the end of each iteration already assigns
@@ -173,7 +175,7 @@ KMeansResult lloyd_scalar(const FlatPoints& points, PointSet centroids,
         "k-means iteration lost or invented point weight");
     GEORED_DCHECK(centroids_finite(centroids, dim),
                   "k-means produced a non-finite centroid");
-    const double objective = objective_of(points, centroids, best_dist_sq, &assignment);
+    const double objective = objective_of(points, centroids, best_dist_sq.data(), assignment.data());
     assignment_current = true;  // now reflects the post-update centroids
     // The isfinite guard keeps the first iteration from "converging" against
     // the infinite sentinel (inf - obj <= tol * inf holds in IEEE arithmetic).
@@ -187,7 +189,7 @@ KMeansResult lloyd_scalar(const FlatPoints& points, PointSet centroids,
   }
   KMeansResult result;
   if (!assignment_current) {  // max_iterations == 0: no pass has run yet
-    prev_objective = objective_of(points, centroids, best_dist_sq, &assignment);
+    prev_objective = objective_of(points, centroids, best_dist_sq.data(), assignment.data());
   }
   result.objective = prev_objective;
   result.assignment = std::move(assignment);
@@ -226,8 +228,7 @@ double guard_down(double bound) {  // lint: no-ensure (total)
 /// exact squared distance to the assigned centroid, so the sequential
 /// weighted objective sum is bit-identical to the scalar objective_of.
 double objective_bounded(const FlatPoints& points, const PointSet& centroids,
-                         std::vector<double>& best_dist_sq,
-                         std::vector<std::size_t>& assignment, std::vector<double>& lower,
+                         double* best_dist_sq, std::size_t* assignment, double* lower,
                          double delta_max, double delta_second, std::size_t moved_most) {
   const std::size_t n = points.positions.size();
   parallel_for(
@@ -271,16 +272,20 @@ KMeansResult lloyd(const FlatPoints& points, PointSet centroids, const KMeansCon
   const std::size_t k = centroids.size();
   double total_weight = 0.0;
   for (const double w : points.weights) total_weight += w;
-  std::vector<std::size_t> assignment(n, 0);
-  // Accumulators reused across iterations instead of reallocating each one.
-  std::vector<double> sums(k * dim);
-  std::vector<double> cluster_weight(k);
-  std::vector<double> best_dist_sq(n);
+  std::vector<std::size_t> assignment(n, 0);  // escapes into the result — lint: alloc-ok
+  // All remaining scratch is arena-backed: every buffer below is either
+  // filled before its first read each iteration or written for all i before
+  // the objective pass, so uninitialized spans are safe, and the scope
+  // returns the lot when the solve finishes.
+  ArenaScope scope;
+  double* sums = scope.span<double>(k * dim);
+  double* cluster_weight = scope.span<double>(k);
+  double* best_dist_sq = scope.span<double>(n);
   // Hamerly state: per-point lower bound on the distance to the
   // second-closest centroid, and the pre-update centroid positions for the
   // per-iteration movement bound.
-  std::vector<double> lower(n);
-  std::vector<double> old_centroids(k * dim);
+  double* lower = scope.span<double>(n);
+  double* old_centroids = scope.span<double>(k * dim);
   double prev_objective = std::numeric_limits<double>::infinity();
   std::size_t iterations = 0;
   // As in lloyd_scalar, the end-of-iteration bounded pass already leaves
@@ -305,21 +310,21 @@ KMeansResult lloyd(const FlatPoints& points, PointSet centroids, const KMeansCon
     }
     // Update step: sequential accumulation in point order — verbatim
     // lloyd_scalar, with the pre-update centroids saved for the bounds.
-    std::copy(centroids.row(0), centroids.row(0) + k * dim, old_centroids.begin());
-    std::fill(sums.begin(), sums.end(), 0.0);
-    std::fill(cluster_weight.begin(), cluster_weight.end(), 0.0);
+    std::copy(centroids.row(0), centroids.row(0) + k * dim, old_centroids);
+    std::fill(sums, sums + k * dim, 0.0);
+    std::fill(cluster_weight, cluster_weight + k, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t c = assignment[i];
       const double w = points.weights[i];
       const double* p = points.positions.row(i);
-      double* sum = sums.data() + c * dim;
+      double* sum = sums + c * dim;
       for (std::size_t d = 0; d < dim; ++d) sum[d] += p[d] * w;
       cluster_weight[c] += w;
     }
     for (std::size_t c = 0; c < k; ++c) {
       if (cluster_weight[c] > 0.0) {
         double* row = centroids.mutable_row(c);
-        const double* sum = sums.data() + c * dim;
+        const double* sum = sums + c * dim;
         for (std::size_t d = 0; d < dim; ++d) row[d] = sum[d] / cluster_weight[c];
       }
       // Empty clusters keep their previous centroid; with good seeding this
@@ -328,7 +333,7 @@ KMeansResult lloyd(const FlatPoints& points, PointSet centroids, const KMeansCon
     GEORED_DCHECK(
         [&] {
           double redistributed = 0.0;
-          for (const double w : cluster_weight) redistributed += w;
+          for (std::size_t c = 0; c < k; ++c) redistributed += cluster_weight[c];
           return std::abs(redistributed - total_weight) <=
                  1e-9 * std::max(1.0, total_weight);
         }(),
@@ -340,7 +345,7 @@ KMeansResult lloyd(const FlatPoints& points, PointSet centroids, const KMeansCon
     double delta_max = 0.0, delta_second = 0.0;
     std::size_t moved_most = 0;
     for (std::size_t c = 0; c < k; ++c) {
-      const double* old_row = old_centroids.data() + c * dim;
+      const double* old_row = old_centroids + c * dim;
       const double* new_row = centroids.row(c);
       double moved_sq = 0.0;
       for (std::size_t d = 0; d < dim; ++d) {
@@ -356,8 +361,9 @@ KMeansResult lloyd(const FlatPoints& points, PointSet centroids, const KMeansCon
         delta_second = std::max(delta_second, moved);
       }
     }
-    const double objective = objective_bounded(points, centroids, best_dist_sq, assignment,
-                                               lower, delta_max, delta_second, moved_most);
+    const double objective =
+        objective_bounded(points, centroids, best_dist_sq, assignment.data(), lower,
+                          delta_max, delta_second, moved_most);
     assignment_current = true;  // now reflects the post-update centroids
     // The isfinite guard keeps the first iteration from "converging" against
     // the infinite sentinel (inf - obj <= tol * inf holds in IEEE arithmetic).
@@ -371,7 +377,7 @@ KMeansResult lloyd(const FlatPoints& points, PointSet centroids, const KMeansCon
   }
   KMeansResult result;
   if (!assignment_current) {  // max_iterations == 0: no pass has run yet
-    prev_objective = objective_of(points, centroids, best_dist_sq, &assignment);
+    prev_objective = objective_of(points, centroids, best_dist_sq, assignment.data());
   }
   result.objective = prev_objective;
   result.assignment = std::move(assignment);
@@ -467,7 +473,7 @@ KMeansResult weighted_kmeans_from_scalar(const std::vector<WeightedPoint>& point
 }
 
 KMeansResult kmeans(const std::vector<Point>& points, const KMeansConfig& config, Rng& rng) {
-  std::vector<WeightedPoint> weighted;
+  std::vector<WeightedPoint> weighted;  // lint: alloc-ok (one-time input conversion)
   weighted.reserve(points.size());
   for (const auto& p : points) weighted.push_back({p, 1.0});
   return weighted_kmeans(weighted, config, rng);

@@ -182,7 +182,7 @@ std::vector<MicroCluster> MicroClusterSummarizer::deserialize_clusters(ByteReade
                           " cannot fit in the " + std::to_string(reader.remaining()) +
                           " bytes remaining");
   }
-  std::vector<MicroCluster> clusters;
+  std::vector<MicroCluster> clusters;  // lint: alloc-ok (cold wire-deserialize path)
   clusters.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) clusters.push_back(MicroCluster::deserialize(reader));
   return clusters;

@@ -1,0 +1,155 @@
+// Bump-allocated scratch memory with epoch (caller-scoped) lifetime.
+//
+// The hot per-epoch paths — the Lloyd/Hamerly iterations, k-means++
+// seeding, and the evaluator node-delay staging — each used to allocate a
+// handful of std::vector<double> buffers per call. At million-client
+// scales those calls run thousands of times per epoch and the allocations
+// become a measurable tax (and an allocator contention point under the
+// pool). An Arena hands out pointer-bumped spans from a few large blocks;
+// a rewind returns every span at once while keeping the blocks, so the
+// steady state after the first epoch is allocation-free.
+//
+// Rules (see docs/performance.md, "Epoch arenas"):
+//   - Spans are uninitialized storage for trivially-destructible types.
+//     The caller fills them; nothing is ever destroyed.
+//   - A span's lifetime ends at the enclosing ArenaScope's destruction
+//     (or an explicit rewind/reset). Never store an arena pointer in a
+//     structure that outlives the scope — results that escape a call
+//     (e.g. the assignment vector moved into a KMeansResult) stay on
+//     ordinary heap vectors.
+//   - epoch_arena() is thread_local: scratch taken from it never crosses
+//     threads, so no synchronization is needed or provided. Code running
+//     inside ThreadPool chunks uses the pool thread's own arena (or plain
+//     locals), never the submitting thread's.
+//   - Scopes nest: an inner ArenaScope rewinds to its own mark, leaving
+//     the outer scope's spans intact.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/ensure.h"
+
+namespace geored {
+
+class Arena {
+ public:
+  /// First block size; later blocks double (geometric growth keeps the
+  /// block count logarithmic in peak usage).
+  static constexpr std::size_t kDefaultBlockBytes = std::size_t{64} * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// A rewind point: everything allocated after mark() is released by the
+  /// matching rewind(), with block capacity retained.
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t offset = 0;
+  };
+
+  Mark mark() const { return Mark{block_, offset_}; }
+
+  void rewind(Mark m) {
+    block_ = m.block;
+    offset_ = m.offset;
+  }
+
+  void reset() { rewind(Mark{}); }
+
+  /// Uninitialized storage for `bytes` bytes at `align` alignment.
+  /// Zero-byte requests return a valid (dangling-safe, unique) pointer.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    GEORED_ENSURE(align > 0 && (align & (align - 1)) == 0,
+                  "Arena alignment must be a power of two");
+    while (block_ < blocks_.size()) {
+      const std::size_t aligned = align_up(offset_, align);
+      if (aligned + bytes <= blocks_[block_].size) {
+        offset_ = aligned + bytes;
+        return blocks_[block_].data.get() + aligned;
+      }
+      ++block_;
+      offset_ = 0;
+    }
+    add_block(bytes + align);
+    const std::size_t aligned = align_up(offset_, align);
+    offset_ = aligned + bytes;
+    return blocks_[block_].data.get() + aligned;
+  }
+
+  /// Uninitialized span of `count` objects of T. T must be trivially
+  /// destructible — the arena never runs destructors.
+  template <typename T>
+  T* allocate_span(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena spans are never destroyed; T must not need it");
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Total bytes across all blocks (capacity, not live usage).
+  std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static std::size_t align_up(std::size_t v, std::size_t align) {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  void add_block(std::size_t min_bytes) {
+    std::size_t size = blocks_.empty() ? kDefaultBlockBytes : blocks_.back().size * 2;
+    if (size < min_bytes) size = min_bytes;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    block_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   // index of the block allocations come from
+  std::size_t offset_ = 0;  // bump offset within that block
+};
+
+/// The calling thread's scratch arena. Thread-local by construction, so
+/// spans from it are single-thread-owned and need no locking; capacity
+/// persists for the thread's lifetime, making steady-state epochs
+/// allocation-free.
+inline Arena& epoch_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+/// RAII rewind: marks the arena at construction and rewinds at scope exit,
+/// releasing every span taken through it (or directly from the arena) in
+/// between. The standard way to borrow epoch_arena() for one call.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ArenaScope() : ArenaScope(epoch_arena()) {}
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+  ~ArenaScope() { arena_.rewind(mark_); }
+
+  Arena& arena() { return arena_; }
+
+  template <typename T>
+  T* span(std::size_t count) {
+    return arena_.allocate_span<T>(count);
+  }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+}  // namespace geored

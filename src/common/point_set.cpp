@@ -65,11 +65,18 @@ void PointSet::erase_row(std::size_t i) {
 Point PointSet::point(std::size_t i) const {
   GEORED_ENSURE(i < size(), "PointSet row index out of range");
   const double* r = row(i);
-  return Point(std::vector<double>(r, r + dim_));
+  return Point(std::vector<double>(r, r + dim_));  // lint: alloc-ok (copy-out accessor)
 }
 
 void PointSet::distance_row(const double* query, double* out) const {
   const std::size_t n = size();
+  if (n >= simd::kMinSimdRows && dim_ > 0) {
+    const simd::Level level = simd::active_level();
+    if (level != simd::Level::kScalar) {
+      simd::distance_row(data_.data(), n, dim_, query, out, level);
+      return;
+    }
+  }
   for (std::size_t i = 0; i < n; ++i) out[i] = std::sqrt(distance_squared(i, query));
 }
 
@@ -83,6 +90,26 @@ std::pair<std::size_t, std::size_t> PointSet::pairwise_min_distance(double* dist
   std::size_t best_a = 0, best_b = 1;
   double best_dist = std::numeric_limits<double>::infinity();
   const std::size_t n = size();
+  const simd::Level level =
+      (n >= simd::kMinSimdRows && dim_ > 0) ? simd::active_level() : simd::Level::kScalar;
+  if (level != simd::Level::kScalar) {
+    // Row a's inner loop scans the contiguous suffix a+1..n-1, which is
+    // exactly a nearest_row over that block: the kernel's first-winner
+    // local index plus the strict `<` combine across ascending a
+    // reproduces the scalar double loop's lexicographic first winner.
+    for (std::size_t a = 0; a + 1 < n; ++a) {
+      double dist = 0.0;
+      const std::size_t local =
+          simd::nearest_row(row(a + 1), n - a - 1, dim_, row(a), &dist, level);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_a = a;
+        best_b = a + 1 + local;
+      }
+    }
+    if (dist_sq != nullptr) *dist_sq = best_dist;
+    return {best_a, best_b};
+  }
   for (std::size_t a = 0; a + 1 < n; ++a) {
     const double* row_a = row(a);
     for (std::size_t b = a + 1; b < n; ++b) {

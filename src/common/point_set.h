@@ -25,6 +25,7 @@
 
 #include "common/ensure.h"
 #include "common/point.h"
+#include "common/point_set_simd.h"
 
 namespace geored {
 
@@ -103,6 +104,18 @@ class PointSet {
   /// kernel of every per-access and per-point loop in the codebase.
   std::size_t nearest_of(const double* query, double* best_dist_sq = nullptr) const {
     GEORED_ENSURE(!empty(), "nearest_of on an empty PointSet");
+    // Large scans dispatch to the register-blocked SIMD backends; they
+    // reproduce this loop bit for bit (see point_set_simd.h). Small scans —
+    // the per-access latency paths — stay on the inline loop below.
+    if (n_ >= simd::kMinSimdRows && dim_ > 0) {
+      const simd::Level level = simd::active_level();
+      if (level != simd::Level::kScalar) {
+        double dist = 0.0;
+        const std::size_t best = simd::nearest_row(data_.data(), n_, dim_, query, &dist, level);
+        if (best_dist_sq != nullptr) *best_dist_sq = dist;
+        return best;
+      }
+    }
     std::size_t best = 0;
     double best_dist = std::numeric_limits<double>::infinity();
     const std::size_t n = size();

@@ -1,0 +1,361 @@
+// SIMD backends for the PointSet kernels — see point_set_simd.h for the
+// design notes and docs/performance.md for the bit-identity argument.
+//
+// This translation unit is compiled with -ffp-contract=off (set in
+// src/common/CMakeLists.txt): target("avx512f") makes FMA instructions
+// available to the compiler, and a contracted multiply-add rounds once
+// instead of twice, which would break the bit-identity contract. The AVX2
+// paths do not strictly need the flag (the target set excludes FMA), but it
+// keeps the whole file under one rule.
+#include "common/point_set_simd.h"
+
+#include "common/ensure.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace geored::simd {
+
+namespace {
+
+/// Scalar tail shared by every backend: continues the strict-`<`
+/// first-winner scan from row `begin` with the running (best, best_dist)
+/// state produced by the vector reduction. Also the whole kScalar backend
+/// (begin = 0, best = 0, best_dist = +inf).
+std::size_t nearest_tail(const double* data, std::size_t n, std::size_t dim,
+                         const double* query, std::size_t begin, std::size_t best,
+                         double best_dist, double* best_dist_sq) {
+  for (std::size_t i = begin; i < n; ++i) {
+    const double* r = data + i * dim;
+    double total = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff = r[d] - query[d];
+      total += diff * diff;
+    }
+    const bool better = total < best_dist;
+    best = better ? i : best;
+    best_dist = better ? total : best_dist;
+  }
+  *best_dist_sq = best_dist;
+  return best;
+}
+
+void distance_tail(const double* data, std::size_t n, std::size_t dim, const double* query,
+                   double* out, std::size_t begin) {
+  for (std::size_t i = begin; i < n; ++i) {
+    const double* r = data + i * dim;
+    double total = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff = r[d] - query[d];
+      total += diff * diff;
+    }
+    out[i] = std::sqrt(total);
+  }
+}
+
+#if defined(__x86_64__)
+
+/// Rows the vector loop looks ahead when prefetching: far enough to cover
+/// the memory latency of one 16-row block at typical dimensions, close
+/// enough not to thrash tiny scans. Prefetch is a hint — never a result.
+constexpr std::size_t kPrefetchRowsAhead = 64;
+
+/// Horizontal reduction shared by the argmin backends: the global minimum
+/// over the lane minima, then the minimum row index among lanes achieving
+/// it. Lane minima are never NaN (a NaN distance loses every strict-`<`
+/// blend), so the scan below needs no unordered handling. When no lane ever
+/// won (n < one block, or every distance NaN/inf) every lane still holds
+/// +inf with its initial index, and the minimum initial index is 0 — the
+/// same (best = 0, best_dist = +inf) state the scalar scan starts from.
+std::size_t reduce_lanes(const double* dists, const long long* idxs, std::size_t lanes,
+                         double* best_dist) {
+  double m = dists[0];
+  for (std::size_t l = 1; l < lanes; ++l) m = dists[l] < m ? dists[l] : m;
+  long long best = -1;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (dists[l] == m && (best < 0 || idxs[l] < best)) best = idxs[l];
+  }
+  if (best < 0) {  // all-NaN lanes cannot happen, but keep the reduction total
+    *best_dist = std::numeric_limits<double>::infinity();
+    return 0;
+  }
+  *best_dist = m;
+  return static_cast<std::size_t>(best);
+}
+
+__attribute__((target("avx512f"))) std::size_t nearest_avx512(const double* data,
+                                                              std::size_t n, std::size_t dim,
+                                                              const double* query,
+                                                              double* best_dist_sq) {
+  const __m512d inf = _mm512_set1_pd(std::numeric_limits<double>::infinity());
+  __m512d best0 = inf, best1 = inf;
+  __m512i idx0 = _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7);
+  __m512i idx1 = _mm512_setr_epi64(8, 9, 10, 11, 12, 13, 14, 15);
+  __m512i rows0 = idx0, rows1 = idx1;
+  const __m512i step = _mm512_set1_epi64(16);
+  const auto d1 = static_cast<long long>(dim);
+  const __m512i lane_off =
+      _mm512_setr_epi64(0, d1, 2 * d1, 3 * d1, 4 * d1, 5 * d1, 6 * d1, 7 * d1);
+  // Full-mask gathers: the unmasked intrinsic leaves its source operand
+  // formally undefined (GCC warns under -Werror); the masked form with an
+  // all-ones mask emits the identical vgatherqpd.
+  const __m512d zero = _mm512_setzero_pd();
+  const __mmask8 kFull = static_cast<__mmask8>(0xff);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const char* ahead = reinterpret_cast<const char*>(data + (i + kPrefetchRowsAhead) * dim);
+    _mm_prefetch(ahead, _MM_HINT_T0);
+    _mm_prefetch(ahead + 64, _MM_HINT_T0);
+    _mm_prefetch(ahead + 128, _MM_HINT_T0);
+    __m512d acc0 = _mm512_setzero_pd();
+    __m512d acc1 = _mm512_setzero_pd();
+    const __m512i off0 =
+        _mm512_add_epi64(_mm512_set1_epi64(static_cast<long long>(i * dim)), lane_off);
+    const __m512i off1 = _mm512_add_epi64(off0, _mm512_set1_epi64(8 * d1));
+    for (std::size_t d = 0; d < dim; ++d) {
+      const __m512i dd = _mm512_set1_epi64(static_cast<long long>(d));
+      const __m512d c0 = _mm512_mask_i64gather_pd(zero, kFull, _mm512_add_epi64(off0, dd), data, 8);
+      const __m512d c1 = _mm512_mask_i64gather_pd(zero, kFull, _mm512_add_epi64(off1, dd), data, 8);
+      const __m512d qd = _mm512_set1_pd(query[d]);
+      const __m512d f0 = _mm512_sub_pd(c0, qd);
+      const __m512d f1 = _mm512_sub_pd(c1, qd);
+      acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(f0, f0));
+      acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(f1, f1));
+    }
+    const __mmask8 lt0 = _mm512_cmp_pd_mask(acc0, best0, _CMP_LT_OQ);
+    best0 = _mm512_mask_mov_pd(best0, lt0, acc0);
+    idx0 = _mm512_mask_mov_epi64(idx0, lt0, rows0);
+    const __mmask8 lt1 = _mm512_cmp_pd_mask(acc1, best1, _CMP_LT_OQ);
+    best1 = _mm512_mask_mov_pd(best1, lt1, acc1);
+    idx1 = _mm512_mask_mov_epi64(idx1, lt1, rows1);
+    rows0 = _mm512_add_epi64(rows0, step);
+    rows1 = _mm512_add_epi64(rows1, step);
+  }
+  double dists[16];
+  long long idxs[16];
+  _mm512_storeu_pd(dists, best0);
+  _mm512_storeu_pd(dists + 8, best1);
+  _mm512_storeu_si512(idxs, idx0);
+  _mm512_storeu_si512(idxs + 8, idx1);
+  double best_dist = 0.0;
+  const std::size_t best = reduce_lanes(dists, idxs, 16, &best_dist);
+  return nearest_tail(data, n, dim, query, i, best, best_dist, best_dist_sq);
+}
+
+__attribute__((target("avx2"))) std::size_t nearest_avx2(const double* data, std::size_t n,
+                                                         std::size_t dim, const double* query,
+                                                         double* best_dist_sq) {
+  const __m256d inf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  __m256d best0 = inf, best1 = inf;
+  // Row indices ride in double lanes (exact through 2^53 — far beyond any
+  // PointSet) so the compare mask can blend them with the same instruction
+  // as the distances.
+  __m256d idx0 = _mm256_setr_pd(0.0, 1.0, 2.0, 3.0);
+  __m256d idx1 = _mm256_setr_pd(4.0, 5.0, 6.0, 7.0);
+  __m256d rows0 = idx0, rows1 = idx1;
+  const __m256d step = _mm256_set1_pd(8.0);
+  const auto d1 = static_cast<long long>(dim);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const char* ahead = reinterpret_cast<const char*>(data + (i + kPrefetchRowsAhead) * dim);
+    _mm_prefetch(ahead, _MM_HINT_T0);
+    _mm_prefetch(ahead + 64, _MM_HINT_T0);
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    const long long base = static_cast<long long>(i * dim);
+    const __m256i off0 = _mm256_set_epi64x(base + 3 * d1, base + 2 * d1, base + d1, base);
+    const __m256i off1 = _mm256_add_epi64(off0, _mm256_set1_epi64x(4 * d1));
+    for (std::size_t d = 0; d < dim; ++d) {
+      const __m256i dd = _mm256_set1_epi64x(static_cast<long long>(d));
+      const __m256d c0 = _mm256_i64gather_pd(data, _mm256_add_epi64(off0, dd), 8);
+      const __m256d c1 = _mm256_i64gather_pd(data, _mm256_add_epi64(off1, dd), 8);
+      const __m256d qd = _mm256_set1_pd(query[d]);
+      const __m256d f0 = _mm256_sub_pd(c0, qd);
+      const __m256d f1 = _mm256_sub_pd(c1, qd);
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(f0, f0));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(f1, f1));
+    }
+    const __m256d lt0 = _mm256_cmp_pd(acc0, best0, _CMP_LT_OQ);
+    best0 = _mm256_blendv_pd(best0, acc0, lt0);
+    idx0 = _mm256_blendv_pd(idx0, rows0, lt0);
+    const __m256d lt1 = _mm256_cmp_pd(acc1, best1, _CMP_LT_OQ);
+    best1 = _mm256_blendv_pd(best1, acc1, lt1);
+    idx1 = _mm256_blendv_pd(idx1, rows1, lt1);
+    rows0 = _mm256_add_pd(rows0, step);
+    rows1 = _mm256_add_pd(rows1, step);
+  }
+  double dists[8], idx_lanes[8];
+  _mm256_storeu_pd(dists, best0);
+  _mm256_storeu_pd(dists + 4, best1);
+  _mm256_storeu_pd(idx_lanes, idx0);
+  _mm256_storeu_pd(idx_lanes + 4, idx1);
+  long long idxs[8];
+  for (int l = 0; l < 8; ++l) idxs[l] = static_cast<long long>(idx_lanes[l]);
+  double best_dist = 0.0;
+  const std::size_t best = reduce_lanes(dists, idxs, 8, &best_dist);
+  return nearest_tail(data, n, dim, query, i, best, best_dist, best_dist_sq);
+}
+
+__attribute__((target("avx512f"))) void distances_avx512(const double* data, std::size_t n,
+                                                         std::size_t dim, const double* query,
+                                                         double* out) {
+  const auto d1 = static_cast<long long>(dim);
+  const __m512i lane_off =
+      _mm512_setr_epi64(0, d1, 2 * d1, 3 * d1, 4 * d1, 5 * d1, 6 * d1, 7 * d1);
+  // Full-mask gathers: the unmasked intrinsic leaves its source operand
+  // formally undefined (GCC warns under -Werror); the masked form with an
+  // all-ones mask emits the identical vgatherqpd.
+  const __m512d zero = _mm512_setzero_pd();
+  const __mmask8 kFull = static_cast<__mmask8>(0xff);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const char* ahead = reinterpret_cast<const char*>(data + (i + kPrefetchRowsAhead) * dim);
+    _mm_prefetch(ahead, _MM_HINT_T0);
+    _mm_prefetch(ahead + 64, _MM_HINT_T0);
+    _mm_prefetch(ahead + 128, _MM_HINT_T0);
+    __m512d acc0 = _mm512_setzero_pd();
+    __m512d acc1 = _mm512_setzero_pd();
+    const __m512i off0 =
+        _mm512_add_epi64(_mm512_set1_epi64(static_cast<long long>(i * dim)), lane_off);
+    const __m512i off1 = _mm512_add_epi64(off0, _mm512_set1_epi64(8 * d1));
+    for (std::size_t d = 0; d < dim; ++d) {
+      const __m512i dd = _mm512_set1_epi64(static_cast<long long>(d));
+      const __m512d c0 = _mm512_mask_i64gather_pd(zero, kFull, _mm512_add_epi64(off0, dd), data, 8);
+      const __m512d c1 = _mm512_mask_i64gather_pd(zero, kFull, _mm512_add_epi64(off1, dd), data, 8);
+      const __m512d qd = _mm512_set1_pd(query[d]);
+      const __m512d f0 = _mm512_sub_pd(c0, qd);
+      const __m512d f1 = _mm512_sub_pd(c1, qd);
+      acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(f0, f0));
+      acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(f1, f1));
+    }
+    _mm512_storeu_pd(out + i, _mm512_mask_sqrt_pd(zero, kFull, acc0));
+    _mm512_storeu_pd(out + i + 8, _mm512_mask_sqrt_pd(zero, kFull, acc1));
+  }
+  distance_tail(data, n, dim, query, out, i);
+}
+
+__attribute__((target("avx2"))) void distances_avx2(const double* data, std::size_t n,
+                                                    std::size_t dim, const double* query,
+                                                    double* out) {
+  const auto d1 = static_cast<long long>(dim);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const char* ahead = reinterpret_cast<const char*>(data + (i + kPrefetchRowsAhead) * dim);
+    _mm_prefetch(ahead, _MM_HINT_T0);
+    _mm_prefetch(ahead + 64, _MM_HINT_T0);
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    const long long base = static_cast<long long>(i * dim);
+    const __m256i off0 = _mm256_set_epi64x(base + 3 * d1, base + 2 * d1, base + d1, base);
+    const __m256i off1 = _mm256_add_epi64(off0, _mm256_set1_epi64x(4 * d1));
+    for (std::size_t d = 0; d < dim; ++d) {
+      const __m256i dd = _mm256_set1_epi64x(static_cast<long long>(d));
+      const __m256d c0 = _mm256_i64gather_pd(data, _mm256_add_epi64(off0, dd), 8);
+      const __m256d c1 = _mm256_i64gather_pd(data, _mm256_add_epi64(off1, dd), 8);
+      const __m256d qd = _mm256_set1_pd(query[d]);
+      const __m256d f0 = _mm256_sub_pd(c0, qd);
+      const __m256d f1 = _mm256_sub_pd(c1, qd);
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(f0, f0));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(f1, f1));
+    }
+    _mm256_storeu_pd(out + i, _mm256_sqrt_pd(acc0));
+    _mm256_storeu_pd(out + i + 4, _mm256_sqrt_pd(acc1));
+  }
+  distance_tail(data, n, dim, query, out, i);
+}
+
+Level probe_detected_level() {
+  if (__builtin_cpu_supports("avx512f")) return Level::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+  return Level::kScalar;
+}
+
+#else  // !defined(__x86_64__)
+
+Level probe_detected_level() { return Level::kScalar; }
+
+#endif
+
+Level parse_level_override(Level detected) {
+  const char* env = std::getenv("GEORED_SIMD");
+  if (env == nullptr || *env == '\0') return detected;
+  Level requested = detected;
+  if (std::strcmp(env, "scalar") == 0) {
+    requested = Level::kScalar;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    requested = Level::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    requested = Level::kAvx512;
+  }
+  // Unknown values keep the detected level; a request above it clamps down
+  // (the hardware decides what can run, the variable can only forbid).
+  return requested < detected ? requested : detected;
+}
+
+}  // namespace
+
+Level detected_level() {
+  static const Level level = probe_detected_level();
+  return level;
+}
+
+Level active_level() {
+  static const Level level = parse_level_override(detected_level());
+  return level;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kAvx512:
+      return "avx512";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+std::size_t nearest_row(const double* data, std::size_t n, std::size_t dim,
+                        const double* query, double* best_dist_sq, Level level) {
+  GEORED_ENSURE(n >= 1 && best_dist_sq != nullptr,
+                "nearest_row requires at least one row and a result slot");
+#if defined(__x86_64__)
+  if (level == Level::kAvx512 && detected_level() >= Level::kAvx512) {
+    return nearest_avx512(data, n, dim, query, best_dist_sq);
+  }
+  if (level == Level::kAvx2 && detected_level() >= Level::kAvx2) {
+    return nearest_avx2(data, n, dim, query, best_dist_sq);
+  }
+#else
+  (void)level;
+#endif
+  return nearest_tail(data, n, dim, query, 0, 0, std::numeric_limits<double>::infinity(),
+                      best_dist_sq);
+}
+
+void distance_row(const double* data, std::size_t n, std::size_t dim, const double* query,
+                  double* out, Level level) {
+  GEORED_ENSURE(n == 0 || out != nullptr, "distance_row needs an output buffer for its rows");
+#if defined(__x86_64__)
+  if (level == Level::kAvx512 && detected_level() >= Level::kAvx512) {
+    distances_avx512(data, n, dim, query, out);
+    return;
+  }
+  if (level == Level::kAvx2 && detected_level() >= Level::kAvx2) {
+    distances_avx2(data, n, dim, query, out);
+    return;
+  }
+#else
+  (void)level;
+#endif
+  distance_tail(data, n, dim, query, out, 0);
+}
+
+}  // namespace geored::simd

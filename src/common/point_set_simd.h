@@ -1,0 +1,74 @@
+// Runtime-dispatched SIMD backends for the PointSet distance kernels.
+//
+// The kernels here are the large-n code paths behind PointSet::nearest_of,
+// PointSet::distance_row, and PointSet::pairwise_min_distance. Each backend
+// processes rows in fixed register blocks (16 rows per iteration on
+// AVX-512, 8 on AVX2) with one lane per row: every lane accumulates the
+// per-dimension `diff = c[d] - q[d]; total += diff * diff` sequence in
+// ascending d, so per-row squared distances are bit-identical to
+// PointSet::distance_squared. The argmin is kept vertically in registers
+// (mask-blend on a strict `<` compare, so a NaN distance never wins — the
+// same NaN-keeps-current behavior as the scalar scan) and reduced at the
+// end by taking the minimum lane distance and then the minimum row index
+// among the lanes achieving it, which is exactly the scalar strict-`<`
+// first-winner. Remainder rows continue the scan on the scalar path from
+// the reduced state, preserving index order.
+//
+// Row blocks are loaded with per-dimension gathers rather than a
+// transpose-into-tile staging pass: on the benchmark hardware the scalar
+// tile transpose costs more than it saves (the panel is streamed once per
+// query, so there is no reuse to block for), while the gathered form with
+// look-ahead prefetch measures ~2.3x over the scalar scan at 100k rows
+// (see docs/performance.md). The centroid-panel case (k-means, summarizer
+// budgets) stays on the small-n scalar/in-register paths, where the panel
+// is L1-resident by construction.
+//
+// FP contraction: this header's implementations live in point_set_simd.cpp,
+// which is compiled with -ffp-contract=off (see src/common/CMakeLists.txt).
+// Unlike target("avx2"), target("avx512f") brings FMA instructions with it,
+// so the usual "no FMA in the target set" argument does not apply — the
+// compile flag is what keeps `mul` and `add` from being contracted into a
+// differently-rounded fused op.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace geored::simd {
+
+/// Instruction-set tiers for the PointSet kernels, in strictly increasing
+/// capability order. Dispatch never selects a level the CPU lacks.
+enum class Level { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Highest level the running CPU supports (cached cpuid probe).
+Level detected_level();
+
+/// The level the PointSet kernels dispatch to: detected_level(), optionally
+/// lowered by the GEORED_SIMD environment variable ("scalar", "avx2",
+/// "avx512" — values above the detected level are clamped down). Read once;
+/// cached for the process lifetime.
+Level active_level();
+
+/// Stable lowercase name ("scalar" / "avx2" / "avx512") for reports.
+const char* level_name(Level level);
+
+/// Below this many rows a scan stays on PointSet's inline scalar loop: the
+/// kernel-call and horizontal-reduction overhead would dominate, and the
+/// small-n consumers (summarizer budgets, k-means centroid panels) are the
+/// latency-critical per-access paths.
+inline constexpr std::size_t kMinSimdRows = 32;
+
+/// Strict-`<` first-winner argmin of squared distances from `query` to the
+/// n×dim row-major rows at `data`; the winning squared distance is written
+/// to *best_dist_sq (never null). Requires n >= 1. Bit-identical to the
+/// scalar PointSet::nearest_of scan at every level.
+std::size_t nearest_row(const double* data, std::size_t n, std::size_t dim,
+                        const double* query, double* best_dist_sq, Level level);
+
+/// Euclidean distance from `query` to every row, written to out[0..n).
+/// vsqrtpd is correctly rounded, so results are bit-identical to
+/// std::sqrt(distance_squared) at every level.
+void distance_row(const double* data, std::size_t n, std::size_t dim, const double* query,
+                  double* out, Level level);
+
+}  // namespace geored::simd

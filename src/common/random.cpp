@@ -121,19 +121,23 @@ std::uint64_t Rng::poisson(double mean) {
 }
 
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {
-  GEORED_ENSURE(!weights.empty(), "weighted_index requires a non-empty weight vector");
+  return weighted_index(weights.data(), weights.size());
+}
+
+std::size_t Rng::weighted_index(const double* weights, std::size_t n) {
+  GEORED_ENSURE(n > 0, "weighted_index requires a non-empty weight vector");
   double total = 0.0;
-  for (double w : weights) {
-    GEORED_ENSURE(w >= 0.0, "weights must be non-negative");
-    total += w;
+  for (std::size_t i = 0; i < n; ++i) {
+    GEORED_ENSURE(weights[i] >= 0.0, "weights must be non-negative");
+    total += weights[i];
   }
   GEORED_ENSURE(total > 0.0, "weighted_index requires a positive total weight");
   double target = uniform() * total;
-  for (std::size_t i = 0; i < weights.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     target -= weights[i];
     if (target < 0.0) return i;
   }
-  return weights.size() - 1;  // numeric edge: target landed exactly on total
+  return n - 1;  // numeric edge: target landed exactly on total
 }
 
 std::vector<std::size_t> Rng::permutation(std::size_t n) {  // lint: no-ensure (total)

@@ -66,6 +66,10 @@ class Rng {
   /// weights[i]. Requires at least one strictly positive weight.
   std::size_t weighted_index(const std::vector<double>& weights);
 
+  /// Pointer form for callers whose weights live in borrowed scratch (arena
+  /// spans); identical sampling sequence to the vector overload.
+  std::size_t weighted_index(const double* weights, std::size_t n);
+
   /// Fisher-Yates shuffle of an index range [0, n), returned as a vector.
   std::vector<std::size_t> permutation(std::size_t n);
 

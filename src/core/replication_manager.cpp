@@ -44,7 +44,12 @@ ReplicationManager::ReplicationManager(std::vector<place::CandidateInfo> candida
   GEORED_ENSURE(pipeline_.collector && pipeline_.proposer && pipeline_.gate && pipeline_.adopter,
                 "every epoch pipeline stage must be set");
   GEORED_ENSURE(config_.ingest_batch_grain >= 1, "ingest_batch_grain must be >= 1");
+  GEORED_ENSURE(config_.ingest_shards >= 1, "ingest_shards must be >= 1");
   degree_ = std::clamp(degree_, config_.min_degree, config_.max_degree);
+  ingest_shards_.reserve(config_.ingest_shards);
+  for (std::size_t s = 0; s < config_.ingest_shards; ++s) {
+    ingest_shards_.push_back(std::make_unique<IngestShard>());
+  }
 
   place::PlacementInput input;
   input.candidates = candidates_;
@@ -84,14 +89,18 @@ void ReplicationManager::record_access(topo::NodeId replica, const Point& client
   GEORED_ENSURE(it != summarizers_.end(), "node does not currently hold a replica");
   GEORED_ENSURE(std::isfinite(data_weight) && data_weight >= 0.0,
                 "access weight must be finite and non-negative");
-  const MutexLock lock(ingest_mutex_);
-  PendingBatch& batch = pending_[replica];
+  IngestShard& shard = shard_of(replica);
+  const MutexLock lock(shard.mutex);
+  PendingBatch& batch = shard.pending[replica];
   batch.coords.push_back(client_coords);
   batch.weights.push_back(data_weight);
-  ++epoch_accesses_;
+  ++shard.accesses;
   if (batch.coords.size() >= config_.ingest_batch_grain) {
+    // Grain-triggered ingestion under the shard lock is race-free: this
+    // replica's summarizer is only ever written under this same shard's
+    // mutex (replica -> shard is a fixed mapping) or with every shard held.
     it->second.add_batch(batch.coords, batch.weights);
-    batch.coords = PointSet();
+    batch.coords.clear();
     batch.weights.clear();
   }
 }
@@ -107,51 +116,80 @@ void ReplicationManager::record_access_batch(topo::NodeId replica, const PointSe
                   "access weight must be finite and non-negative");
   }
   const std::size_t n = client_coords.size();
-  const MutexLock lock(ingest_mutex_);
-  PendingBatch& batch = pending_[replica];
+  IngestShard& shard = shard_of(replica);
+  const MutexLock lock(shard.mutex);
+  PendingBatch& batch = shard.pending[replica];
   for (std::size_t i = 0; i < n; ++i) {
     batch.coords.push_back_row(client_coords.row(i), client_coords.dim());
     batch.weights.push_back(data_weights.empty() ? 1.0 : data_weights[i]);
   }
-  epoch_accesses_ += n;
+  shard.accesses += n;
   if (batch.coords.size() >= config_.ingest_batch_grain) {
+    // Same single-writer argument as record_access: the shard mutex is the
+    // one lock this replica's summarizer is ever written under.
     it->second.add_batch(batch.coords, batch.weights);
-    batch.coords = PointSet();
+    batch.coords.clear();
     batch.weights.clear();
   }
 }
 
-void ReplicationManager::flush_ingest() const {
-  const MutexLock lock(ingest_mutex_);
-  flush_ingest_locked();
+// Thread-safety analysis is disabled here because the flush acquires a
+// runtime-sized family of shard mutexes in a loop — a pattern TSA cannot
+// verify (it reasons about lexical capability expressions, not loop-carried
+// lock sets). The discipline it would otherwise check is simple and local:
+// every shard mutex is acquired in ascending index order (the single global
+// acquisition order, so flushes never deadlock each other or the record
+// paths, which take exactly one shard), all staged state is read only while
+// every lock is held, and every lock is released on exit.
+void ReplicationManager::flush_ingest() const GEORED_NO_THREAD_SAFETY_ANALYSIS {
+  for (auto& shard : ingest_shards_) shard->mutex.lock();
+  // Gather the replicas with staged accesses across all shards, sorted by
+  // node id, so the work list — and thus which summarizer each parallel
+  // chunk touches — is deterministic and independent of the shard count
+  // (each replica lives in exactly one shard, so the merge is a disjoint
+  // union). Each replica's stream ingests sequentially in recorded order;
+  // replicas are independent, so any thread count yields bytewise the same
+  // summaries. Every shard mutex stays held across the parallel ingest
+  // (chunks never take them), so concurrent record calls wait for the
+  // flush instead of staging into batches mid-drain.
+  struct WorkItem {
+    topo::NodeId node;
+    PendingBatch* batch;
+    cluster::MicroClusterSummarizer* summarizer;
+  };
+  std::vector<WorkItem> work;
+  for (auto& shard : ingest_shards_) {
+    for (auto& [node, batch] : shard->pending) {
+      if (batch.coords.empty()) continue;
+      work.push_back({node, &batch, &summarizers_.at(node)});
+    }
+  }
+  std::sort(work.begin(), work.end(),
+            [](const WorkItem& a, const WorkItem& b) { return a.node < b.node; });
+  if (!work.empty()) {
+    parallel_for(
+        work.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            work[i].summarizer->add_batch(work[i].batch->coords, work[i].batch->weights);
+            work[i].batch->coords.clear();
+            work[i].batch->weights.clear();
+          }
+        },
+        /*min_parallel=*/2);
+  }
+  for (auto it = ingest_shards_.rbegin(); it != ingest_shards_.rend(); ++it) {
+    (*it)->mutex.unlock();
+  }
 }
 
-void ReplicationManager::flush_ingest_locked() const {
-  // Gather the replicas with staged accesses in map (node-id) order so the
-  // work list — and thus which summarizer each parallel chunk touches — is
-  // deterministic. Each replica's stream ingests sequentially in recorded
-  // order; replicas are independent, so any thread count yields bytewise
-  // the same summaries. The ingest mutex stays held across the parallel
-  // ingest (chunks never take it), so concurrent record calls wait for the
-  // flush instead of staging into batches mid-drain.
-  std::vector<std::pair<PendingBatch*, cluster::MicroClusterSummarizer*>> work;
-  work.reserve(pending_.size());
-  for (auto& [node, batch] : pending_) {
-    if (batch.coords.empty()) continue;
-    work.push_back({&batch, &summarizers_.at(node)});
+std::uint64_t ReplicationManager::epoch_accesses() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : ingest_shards_) {
+    const MutexLock lock(shard->mutex);
+    total += shard->accesses;
   }
-  if (work.empty()) return;
-  parallel_for(
-      work.size(),
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          auto& [batch, summarizer] = work[i];
-          summarizer->add_batch(batch->coords, batch->weights);
-          batch->coords = PointSet();
-          batch->weights.clear();
-        }
-      },
-      /*min_parallel=*/2);
+  return total;
 }
 
 const std::vector<cluster::MicroCluster>& ReplicationManager::summary_of(
@@ -296,11 +334,13 @@ void ReplicationManager::restore(ByteReader& reader) {
   for (std::uint32_t i = 0; i < centroid_count; ++i) {
     centroids.emplace_back(reader.read_f64_vector());
   }
-  // All parsed and validated: commit.
+  // All parsed and validated: commit. The restored access count lands in
+  // shard 0 (the sum across shards is the observable value; its split is
+  // staging layout, not state).
   epoch_index_ = epoch_index;
-  {
-    const MutexLock lock(ingest_mutex_);
-    epoch_accesses_ = epoch_accesses;
+  for (std::size_t s = 0; s < ingest_shards_.size(); ++s) {
+    const MutexLock lock(ingest_shards_[s]->mutex);
+    ingest_shards_[s]->accesses = s == 0 ? epoch_accesses : 0;
   }
   degree_ = degree;
   placement_ = std::move(placement);
@@ -388,9 +428,9 @@ EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded
   }
   report.adopted_placement = placement_;
 
-  {
-    const MutexLock lock(ingest_mutex_);
-    epoch_accesses_ = 0;
+  for (const auto& shard : ingest_shards_) {
+    const MutexLock lock(shard->mutex);
+    shard->accesses = 0;
   }
   ++epoch_index_;
   return report;

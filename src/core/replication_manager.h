@@ -16,17 +16,23 @@
 //
 // Concurrency contract (capability-annotated, see common/sync.h): the
 // *record* paths — serve / record_access / record_access_batch — may be
-// called concurrently from any number of threads; staging is serialized on
-// an internal mutex, so no accesses are lost or corrupted (the interleaving
-// order across threads is the scheduler's, so bit-reproducibility holds
-// only for externally ordered streams). The *epoch and checkpoint* paths —
-// run_epoch / save / restore / summary_of / delay_by_degree_curve — require
-// exclusive access to the manager: they read and replace the summarizers
-// the record paths feed.
+// called concurrently from any number of threads. Staging is sharded by
+// replica (shard = replica id mod ManagerConfig::ingest_shards), each shard
+// behind its own mutex, so records to different replicas rarely contend; a
+// record only serializes against records to replicas in the same shard and
+// against a flush (which holds every shard). No accesses are lost or
+// corrupted (the interleaving order across threads is the scheduler's, so
+// bit-reproducibility holds only for externally ordered streams); flushes
+// merge shards in node-id order, so observable summaries are byte-identical
+// at any thread count and any shard count. The *epoch and checkpoint* paths
+// — run_epoch / save / restore / summary_of / delay_by_degree_curve —
+// require exclusive access to the manager: they read and replace the
+// summarizers the record paths feed.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <span>
@@ -86,6 +92,14 @@ struct ManagerConfig {
   /// (run_epoch, summary_of, save, the degree curve) flushes first, so
   /// observable summaries are independent of the grain. 1 = unbatched.
   std::size_t ingest_batch_grain = 256;
+
+  /// Number of staging shards the record paths spread over (replica id mod
+  /// shards). A fixed count — deliberately independent of the thread count —
+  /// so the staging layout never depends on GEORED_THREADS; flushes merge
+  /// shards in node-id order, making summaries byte-identical at any value
+  /// here too. More shards = less record-path contention; 1 restores a
+  /// single global staging lock.
+  std::size_t ingest_shards = 8;
 };
 
 /// Outcome of one placement epoch.
@@ -139,22 +153,20 @@ class ReplicationManager {
   /// Accesses are staged and ingested in batches of
   /// ManagerConfig::ingest_batch_grain; results are identical to immediate
   /// ingestion (see flush_ingest).
-  void record_access(topo::NodeId replica, const Point& client_coords,
-                     double data_weight = 1.0) GEORED_EXCLUDES(ingest_mutex_);
+  void record_access(topo::NodeId replica, const Point& client_coords, double data_weight = 1.0);
 
   /// Records a whole chunk of accesses served by `replica`: row i of
   /// `client_coords` with data_weights[i] (or 1.0 per row when
   /// `data_weights` is empty). Equivalent to record_access per row in
   /// order; the batch form skips the per-access staging overhead.
   void record_access_batch(topo::NodeId replica, const PointSet& client_coords,
-                           std::span<const double> data_weights = {})
-      GEORED_EXCLUDES(ingest_mutex_);
+                           std::span<const double> data_weights = {});
 
   /// Ingests every staged access into its replica's summarizer (in recorded
   /// order per replica; replicas in parallel on the deterministic thread
   /// pool). Called automatically by every state-reading entry point, so it
   /// only needs to be called directly when benchmarking ingestion itself.
-  void flush_ingest() const GEORED_EXCLUDES(ingest_mutex_);
+  void flush_ingest() const;
 
   /// Micro-clusters currently held for `replica` (observability / tests).
   const std::vector<cluster::MicroCluster>& summary_of(topo::NodeId replica) const;
@@ -170,11 +182,9 @@ class ReplicationManager {
   /// availability overrides the migration cost gate.
   EpochReport run_epoch(const std::set<topo::NodeId>& excluded = {});
 
-  /// Accesses recorded since the last epoch.
-  std::uint64_t epoch_accesses() const GEORED_EXCLUDES(ingest_mutex_) {
-    const MutexLock lock(ingest_mutex_);
-    return epoch_accesses_;
-  }
+  /// Accesses recorded since the last epoch (sum of per-shard counters,
+  /// read shard by shard in index order).
+  std::uint64_t epoch_accesses() const;
 
   /// Sets the degree an external allocator (e.g. FleetManager's replica
   /// budget) granted this object, clamped to the configured bounds. Takes
@@ -203,18 +213,36 @@ class ReplicationManager {
   void restore(ByteReader& reader);
 
  private:
-  /// Staged accesses awaiting ingestion into one replica's summarizer.
+  /// Staged accesses awaiting ingestion into one replica's summarizer. The
+  /// drained form keeps its buffers (PointSet::clear preserves dimension
+  /// and capacity), so steady-state staging is allocation-free; a
+  /// mid-stream dimension change therefore throws at the record call that
+  /// introduces it rather than at the flush — both are caller errors.
   struct PendingBatch {
     PointSet coords;
     std::vector<double> weights;
+  };
+
+  /// One staging shard: a slice of the per-replica pending batches plus its
+  /// share of the epoch access counter, behind its own mutex. A replica
+  /// always maps to the same shard (node id mod shard count), so a
+  /// replica's staged stream — and any grain-triggered ingestion into its
+  /// summarizer — is serialized by exactly one mutex. Held by unique_ptr:
+  /// a Mutex is a capability identity and cannot move when the vector is
+  /// built.
+  struct IngestShard {
+    mutable Mutex mutex;
+    std::map<topo::NodeId, PendingBatch> pending GEORED_GUARDED_BY(mutex);
+    std::uint64_t accesses GEORED_GUARDED_BY(mutex) = 0;
   };
 
   double estimate_average_delay(const place::Placement& placement,
                                 const std::vector<cluster::MicroCluster>& summaries) const;
   const place::CandidateInfo& candidate_info(topo::NodeId node) const;
   void maybe_adjust_degree(std::uint64_t epoch_accesses);
-  /// The flush body; the public flush_ingest() is the locking shell.
-  void flush_ingest_locked() const GEORED_REQUIRES(ingest_mutex_);
+  IngestShard& shard_of(topo::NodeId replica) const {
+    return *ingest_shards_[replica % ingest_shards_.size()];
+  }
 
   std::vector<place::CandidateInfo> candidates_;
   ManagerConfig config_;
@@ -222,19 +250,19 @@ class ReplicationManager {
   std::uint64_t epoch_index_ = 0;
   std::size_t degree_;
   place::Placement placement_;
-  /// mutable with pending_: staging is a cache layout, not observable
+  /// mutable with the shards: staging is a cache layout, not observable
   /// state — const readers flush it so summaries never depend on the grain.
-  /// Not guarded: mutated only by the epoch/checkpoint paths (exclusive by
-  /// contract) and by ingestion, which always runs under ingest_mutex_.
+  /// Not guarded: the map's structure is mutated only by the epoch and
+  /// checkpoint paths (exclusive by contract); a summarizer's contents are
+  /// only mutated under its replica's shard mutex (grain ingestion) or with
+  /// every shard held (flush).
   mutable std::map<topo::NodeId, cluster::MicroClusterSummarizer> summarizers_;
-  /// Guards the concurrent-safe staging state: the per-replica pending
-  /// batches and the access counter the record paths bump. Held across a
-  /// whole flush (including its parallel_for — pool chunks never take it),
-  /// so records observe either pre- or post-flush staging, never a torn one.
-  mutable Mutex ingest_mutex_;
-  mutable std::map<topo::NodeId, PendingBatch> pending_ GEORED_GUARDED_BY(ingest_mutex_);
+  /// Fixed-count staging shards (see ManagerConfig::ingest_shards). A flush
+  /// acquires every shard in index order and holds them across its parallel
+  /// ingest — pool chunks never take shard mutexes — so records observe
+  /// either pre- or post-flush staging, never a torn one.
+  mutable std::vector<std::unique_ptr<IngestShard>> ingest_shards_;
   EpochPipeline pipeline_;
-  std::uint64_t epoch_accesses_ GEORED_GUARDED_BY(ingest_mutex_) = 0;
 };
 
 }  // namespace geored::core

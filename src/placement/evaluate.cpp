@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/arena.h"
 #include "common/ensure.h"
 #include "common/point_set.h"
 #include "common/thread_pool.h"
@@ -33,15 +34,15 @@ double quorum_latency(std::vector<double>& latencies, std::size_t quorum) {
 /// the per-client scalar loop. Clients at the same node share the entry, so
 /// evaluation drops from O(clients × k) to O(nodes × k + clients). Worth
 /// building once the client population outnumbers the nodes.
-std::vector<double> gather_node_delays(const topo::Topology& topology,
-                                       const Placement& placement, std::size_t quorum) {
+void gather_node_delays(const topo::Topology& topology, const Placement& placement,
+                        std::size_t quorum, double* node_delay) {
   const std::size_t n_nodes = topology.size();
   const std::size_t k = placement.size();
-  std::vector<double> node_delay(n_nodes);
   parallel_for(
       n_nodes,
       [&](std::size_t begin, std::size_t end) {
-        std::vector<double> latencies(quorum == 1 ? 0 : k);
+        // One scratch buffer per pool chunk, reused across its nodes.
+        std::vector<double> latencies(quorum == 1 ? 0 : k);  // lint: alloc-ok (per chunk)
         for (std::size_t node = begin; node < end; ++node) {
           const auto id = static_cast<topo::NodeId>(node);
           if (quorum == 1) {
@@ -69,7 +70,6 @@ std::vector<double> gather_node_delays(const topo::Topology& topology,
         }
       },
       kMinParallelClients / 4);
-  return node_delay;
 }
 
 }  // namespace
@@ -86,7 +86,12 @@ double true_total_delay(const topo::Topology& topology, const Placement& placeme
   // often enough to pay for it; otherwise look RTTs up directly (identical
   // doubles either way, so the objective value cannot change).
   if (clients.size() >= n_nodes && clients.size() >= 64) {
-    const std::vector<double> node_delay = gather_node_delays(topology, placement, quorum);
+    // The per-node table is epoch scratch: arena-backed so repeated
+    // evaluations (thousands per epoch under local search) stop paying a
+    // heap round trip each call.
+    ArenaScope scope;
+    double* node_delay = scope.span<double>(n_nodes);
+    gather_node_delays(topology, placement, quorum, node_delay);
     return parallel_reduce_sum(
         clients.size(),
         [&](std::size_t begin, std::size_t end) {
@@ -105,7 +110,7 @@ double true_total_delay(const topo::Topology& topology, const Placement& placeme
       clients.size(),
       [&](std::size_t begin, std::size_t end) {
         double partial = 0.0;
-        std::vector<double> latencies(quorum == 1 ? 0 : k);
+        std::vector<double> latencies(quorum == 1 ? 0 : k);  // lint: alloc-ok (per chunk)
         for (std::size_t i = begin; i < end; ++i) {
           const ClientRecord& client = clients[i];
           if (quorum == 1) {
@@ -168,7 +173,7 @@ double estimated_total_delay(const Placement& placement,
       [&](std::size_t begin, std::size_t end) {
         double partial = 0.0;
         // One scratch buffer per chunk, reused across its clients.
-        std::vector<double> latencies(effective_quorum == 1 ? 0 : k);
+        std::vector<double> latencies(effective_quorum == 1 ? 0 : k);  // lint: alloc-ok
         for (std::size_t i = begin; i < end; ++i) {
           const ClientRecord& client = clients[i];
           if (effective_quorum == 1) {
@@ -213,7 +218,7 @@ double true_total_delay_scalar(const topo::Topology& topology, const Placement& 
                                const std::vector<ClientRecord>& clients, std::size_t quorum) {
   GEORED_ENSURE(!placement.empty(), "cannot evaluate an empty placement");
   double total = 0.0;
-  std::vector<double> latencies(placement.size());
+  std::vector<double> latencies(placement.size());  // lint: alloc-ok (frozen reference)
   for (const auto& client : clients) {
     if (quorum == 1) {
       double best = topology.rtt_ms(client.client, placement.front());
@@ -236,7 +241,7 @@ double estimated_total_delay_scalar(const Placement& placement,
                                     const std::vector<ClientRecord>& clients,
                                     std::size_t quorum) {
   GEORED_ENSURE(!placement.empty(), "cannot evaluate an empty placement");
-  std::vector<const Point*> replica_coords;
+  std::vector<const Point*> replica_coords;  // lint: alloc-ok (frozen reference)
   replica_coords.reserve(placement.size());
   for (const auto id : placement) {
     const auto it = std::find_if(candidates.begin(), candidates.end(),
@@ -245,12 +250,12 @@ double estimated_total_delay_scalar(const Placement& placement,
     replica_coords.push_back(&it->coords);
   }
   double total = 0.0;
-  std::vector<double> latencies(placement.size());
+  std::vector<double> latencies(placement.size());  // lint: alloc-ok (frozen reference)
   for (const auto& client : clients) {
     for (std::size_t r = 0; r < replica_coords.size(); ++r) {
       latencies[r] = client.coords.distance_to(*replica_coords[r]);
     }
-    std::vector<double> scratch = latencies;
+    std::vector<double> scratch = latencies;  // lint: alloc-ok (frozen reference)
     total += quorum_latency(scratch, std::min(quorum, scratch.size())) *
              static_cast<double>(client.access_count);
   }

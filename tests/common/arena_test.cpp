@@ -1,0 +1,123 @@
+// Unit pins for the epoch-scratch arena (common/arena.h): bump allocation,
+// alignment, mark/rewind reuse, geometric growth, scope nesting, and the
+// steady-state no-new-capacity property the hot paths rely on.
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+namespace geored {
+namespace {
+
+TEST(Arena, AllocationsAreDisjointAndAligned) {
+  Arena arena;
+  double* a = arena.allocate_span<double>(100);
+  double* b = arena.allocate_span<double>(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_GE(b, a + 100) << "spans must not overlap";
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(double), 0u);
+  // Alignment holds even after an odd-sized byte allocation.
+  (void)arena.allocate(3, 1);
+  double* c = arena.allocate_span<double>(1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % alignof(double), 0u);
+  // The spans are writable storage.
+  for (int i = 0; i < 100; ++i) a[i] = static_cast<double>(i);
+  for (int i = 0; i < 100; ++i) b[i] = -static_cast<double>(i);
+  EXPECT_EQ(a[99], 99.0);
+  EXPECT_EQ(b[99], -99.0);
+}
+
+TEST(Arena, RewindReusesTheSameStorage) {
+  Arena arena;
+  const Arena::Mark m = arena.mark();
+  double* first = arena.allocate_span<double>(512);
+  const std::size_t capacity = arena.capacity_bytes();
+  arena.rewind(m);
+  double* second = arena.allocate_span<double>(512);
+  EXPECT_EQ(first, second) << "rewind must hand back the same storage";
+  EXPECT_EQ(arena.capacity_bytes(), capacity) << "rewind must keep capacity";
+}
+
+TEST(Arena, GrowsGeometricallyAndServesOversizedRequests) {
+  Arena arena;
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+  (void)arena.allocate_span<std::uint8_t>(1);
+  EXPECT_EQ(arena.capacity_bytes(), Arena::kDefaultBlockBytes);
+  // A request larger than any existing block gets a dedicated block at
+  // least that large; existing capacity is retained, not reallocated.
+  const std::size_t big = Arena::kDefaultBlockBytes * 8;
+  std::uint8_t* span = arena.allocate_span<std::uint8_t>(big);
+  ASSERT_NE(span, nullptr);
+  span[0] = 1;
+  span[big - 1] = 2;
+  EXPECT_GE(arena.capacity_bytes(), Arena::kDefaultBlockBytes + big);
+}
+
+TEST(Arena, SteadyStateAddsNoCapacity) {
+  Arena arena;
+  const auto workload = [&] {
+    ArenaScope scope(arena);
+    double* x = scope.span<double>(3000);
+    std::size_t* y = scope.span<std::size_t>(500);
+    x[0] = 1.0;
+    y[0] = 2;
+  };
+  workload();
+  const std::size_t after_first = arena.capacity_bytes();
+  for (int i = 0; i < 100; ++i) workload();
+  EXPECT_EQ(arena.capacity_bytes(), after_first)
+      << "repeated identical scopes must be allocation-free after the first";
+}
+
+TEST(Arena, ScopesNest) {
+  Arena arena;
+  ArenaScope outer(arena);
+  double* kept = outer.span<double>(8);
+  kept[0] = 42.0;
+  double* inner_ptr = nullptr;
+  {
+    ArenaScope inner(arena);
+    inner_ptr = inner.span<double>(8);
+    inner_ptr[0] = 7.0;
+  }
+  // The inner scope's span is released; the outer one's is untouched.
+  EXPECT_EQ(kept[0], 42.0);
+  double* reused = outer.span<double>(8);
+  EXPECT_EQ(reused, inner_ptr) << "inner rewind must free the inner span only";
+}
+
+TEST(Arena, ResetKeepsCapacity) {
+  Arena arena;
+  (void)arena.allocate_span<double>(20000);  // spills past the first block
+  const std::size_t capacity = arena.capacity_bytes();
+  EXPECT_GT(capacity, 0u);
+  arena.reset();
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+  double* again = arena.allocate_span<double>(20000);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+}
+
+TEST(Arena, EpochArenaIsPerThread) {
+  Arena* main_arena = &epoch_arena();
+  Arena* worker_arena = nullptr;
+  std::thread worker([&] { worker_arena = &epoch_arena(); });
+  worker.join();
+  ASSERT_NE(worker_arena, nullptr);
+  EXPECT_NE(main_arena, worker_arena)
+      << "epoch_arena must be thread-local, never shared across threads";
+  EXPECT_EQ(main_arena, &epoch_arena()) << "and stable within a thread";
+}
+
+TEST(Arena, ZeroCountSpanIsValid) {
+  Arena arena;
+  double* empty = arena.allocate_span<double>(0);
+  EXPECT_NE(empty, nullptr);
+}
+
+}  // namespace
+}  // namespace geored

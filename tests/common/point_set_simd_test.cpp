@@ -1,0 +1,238 @@
+// Equivalence pins for the runtime-dispatched SIMD distance kernels
+// (common/point_set_simd.h): every available level must reproduce the
+// scalar strict-`<` first-winner scan bit for bit — including ties, NaN
+// rows, infinite coordinates, and sizes straddling the register-block
+// boundaries (16 rows per AVX-512 iteration, 8 per AVX2).
+#include "common/point_set_simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/point_set.h"
+#include "common/random.h"
+
+namespace geored {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+/// The scalar reference scan, restated independently of PointSet so the
+/// pin does not inherit a bug from the code under test: strict-`<` first
+/// winner from (best=0, best_dist=+inf), NaN distances never win.
+std::size_t reference_nearest(const std::vector<double>& data, std::size_t n, std::size_t dim,
+                              const double* query, double* best_dist_sq) {
+  std::size_t best = 0;
+  double best_dist = kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    double dist = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff = data[i * dim + d] - query[d];
+      dist += diff * diff;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  *best_dist_sq = best_dist;
+  return best;
+}
+
+/// Levels the running CPU can execute. kScalar is always present; testing a
+/// level the CPU lacks would fault, so coverage narrows on older hardware
+/// (the CI bench box runs all three).
+std::vector<simd::Level> available_levels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::detected_level() >= simd::Level::kAvx2) levels.push_back(simd::Level::kAvx2);
+  if (simd::detected_level() >= simd::Level::kAvx512) levels.push_back(simd::Level::kAvx512);
+  return levels;
+}
+
+void expect_all_levels_match(const std::vector<double>& data, std::size_t n, std::size_t dim,
+                             const double* query, const char* label) {
+  double want_dist = 0.0;
+  const std::size_t want = reference_nearest(data, n, dim, query, &want_dist);
+  std::vector<double> want_row(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double dist = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff = data[i * dim + d] - query[d];
+      dist += diff * diff;
+    }
+    want_row[i] = std::sqrt(dist);
+  }
+  for (const simd::Level level : available_levels()) {
+    double got_dist = 0.0;
+    const std::size_t got = simd::nearest_row(data.data(), n, dim, query, &got_dist, level);
+    EXPECT_EQ(got, want) << label << ": argmin diverged at level "
+                         << simd::level_name(level) << " (n=" << n << ", dim=" << dim << ")";
+    EXPECT_EQ(bits_of(got_dist), bits_of(want_dist))
+        << label << ": best distance not bit-identical at level " << simd::level_name(level)
+        << " (n=" << n << ", dim=" << dim << ")";
+    std::vector<double> got_row(n, -1.0);
+    simd::distance_row(data.data(), n, dim, query, got_row.data(), level);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(bits_of(got_row[i]), bits_of(want_row[i]))
+          << label << ": distance_row[" << i << "] not bit-identical at level "
+          << simd::level_name(level) << " (n=" << n << ", dim=" << dim << ")";
+    }
+  }
+}
+
+TEST(PointSetSimd, MatchesScalarAcrossBlockBoundarySizes) {
+  // Every size around the AVX2 (8) and AVX-512 (16) block widths, both
+  // sides of the dispatch threshold, plus sizes that leave 1..15 remainder
+  // rows for the scalar tail.
+  const std::size_t sizes[] = {1,  2,  7,  8,  9,  15, 16, 17, 23, 24, 31,  32,
+                               33, 47, 48, 63, 64, 65, 96, 97, 127, 128, 129, 1000};
+  const std::size_t dims[] = {1, 2, 3, 5, 8, 13};
+  for (const std::size_t dim : dims) {
+    Rng rng(0x51D0 + dim);
+    for (const std::size_t n : sizes) {
+      std::vector<double> data(n * dim);
+      for (double& v : data) v = rng.uniform(-100.0, 100.0);
+      std::vector<double> query(dim);
+      for (double& v : query) v = rng.uniform(-100.0, 100.0);
+      expect_all_levels_match(data, n, dim, query.data(), "random");
+    }
+  }
+}
+
+TEST(PointSetSimd, FirstWinnerOnExactTies) {
+  // The winning row is duplicated at positions inside different register
+  // blocks and in the scalar tail; every level must report the *first*
+  // occurrence, like the scalar strict-`<` scan.
+  constexpr std::size_t kDim = 3;
+  constexpr std::size_t kN = 53;  // 3 full AVX-512 blocks + 5 tail rows
+  const double winner[kDim] = {1.0, 2.0, 3.0};
+  const double query[kDim] = {1.0, 2.0, 3.5};
+  for (const std::size_t first : {std::size_t{0}, std::size_t{5}, std::size_t{18},
+                                  std::size_t{33}, std::size_t{49}}) {
+    std::vector<double> data(kN * kDim);
+    for (std::size_t i = 0; i < kN; ++i) {
+      for (std::size_t d = 0; d < kDim; ++d) {
+        data[i * kDim + d] = 1000.0 + static_cast<double>(i + d);
+      }
+    }
+    for (std::size_t i = first; i < kN; i += 7) {  // duplicates at and after `first`
+      for (std::size_t d = 0; d < kDim; ++d) data[i * kDim + d] = winner[d];
+    }
+    for (const simd::Level level : available_levels()) {
+      double dist = 0.0;
+      EXPECT_EQ(simd::nearest_row(data.data(), kN, kDim, query, &dist, level), first)
+          << "tie broken away from the first winner at level " << simd::level_name(level);
+      EXPECT_EQ(dist, 0.25);
+    }
+    expect_all_levels_match(data, kN, kDim, query, "ties");
+  }
+}
+
+TEST(PointSetSimd, NaNRowsNeverWin) {
+  constexpr std::size_t kDim = 2;
+  constexpr std::size_t kN = 40;
+  std::vector<double> data(kN * kDim, 50.0);
+  // NaN rows scattered across blocks and tail; one clean winner at row 27.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{9}, std::size_t{17},
+                              std::size_t{26}, std::size_t{39}}) {
+    data[i * kDim] = kNaN;
+  }
+  data[27 * kDim] = 1.0;
+  data[27 * kDim + 1] = 1.0;
+  const double query[kDim] = {1.0, 1.0};
+  for (const simd::Level level : available_levels()) {
+    double dist = -1.0;
+    EXPECT_EQ(simd::nearest_row(data.data(), kN, kDim, query, &dist, level), 27u)
+        << "a NaN distance displaced the winner at level " << simd::level_name(level);
+    EXPECT_EQ(dist, 0.0);
+  }
+  expect_all_levels_match(data, kN, kDim, query, "nan-rows");
+}
+
+TEST(PointSetSimd, AllNaNKeepsScalarInitialState) {
+  // Every distance NaN: nothing ever wins the strict `<`, so the scan ends
+  // in its initial state — index 0, +inf — at every level.
+  constexpr std::size_t kDim = 2;
+  constexpr std::size_t kN = 37;
+  const std::vector<double> data(kN * kDim, kNaN);
+  const double query[kDim] = {0.0, 0.0};
+  for (const simd::Level level : available_levels()) {
+    double dist = 0.0;
+    EXPECT_EQ(simd::nearest_row(data.data(), kN, kDim, query, &dist, level), 0u);
+    EXPECT_EQ(dist, kInf) << "level " << simd::level_name(level);
+  }
+}
+
+TEST(PointSetSimd, InfiniteCoordinatesMatchScalar) {
+  // +-inf coordinates produce inf distances — and NaN where inf - inf
+  // occurs. The pin is simply "whatever the scalar scan does", bit for bit.
+  constexpr std::size_t kDim = 3;
+  constexpr std::size_t kN = 35;
+  std::vector<double> data(kN * kDim);
+  Rng rng(0x1f1f);
+  for (double& v : data) v = rng.uniform(-10.0, 10.0);
+  data[4 * kDim + 1] = kInf;
+  data[19 * kDim] = -kInf;
+  data[33 * kDim + 2] = kInf;
+  const double query_finite[kDim] = {0.5, -0.5, 2.0};
+  expect_all_levels_match(data, kN, kDim, query_finite, "inf-rows");
+  const double query_inf[kDim] = {kInf, -0.5, 2.0};  // inf - inf => NaN on row 4? no: dim 0
+  expect_all_levels_match(data, kN, kDim, query_inf, "inf-query");
+}
+
+TEST(PointSetSimd, LevelNamesAndOrdering) {
+  EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx2), "avx2");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx512), "avx512");
+  // The active level can only clamp down from the detected one.
+  EXPECT_LE(static_cast<int>(simd::active_level()), static_cast<int>(simd::detected_level()));
+}
+
+TEST(PointSetSimd, PointSetDispatchAgreesWithExplicitLevels) {
+  // End-to-end through PointSet::nearest_of / distance_row, which dispatch
+  // on active_level() above kMinSimdRows: results must equal the explicit
+  // scalar-level kernel whatever level the dispatcher picked.
+  constexpr std::size_t kDim = 5;
+  const std::size_t n = simd::kMinSimdRows * 3 + 5;
+  Rng rng(0xd15b);
+  PointSet set(kDim);
+  std::vector<double> flat;
+  for (std::size_t i = 0; i < n; ++i) {
+    Point p(kDim);
+    for (std::size_t d = 0; d < kDim; ++d) p[d] = rng.uniform(-50.0, 50.0);
+    set.push_back(p);
+    flat.insert(flat.end(), p.values().begin(), p.values().end());
+  }
+  Point query(kDim);
+  for (std::size_t d = 0; d < kDim; ++d) query[d] = rng.uniform(-50.0, 50.0);
+
+  double want_dist = 0.0;
+  const std::size_t want = simd::nearest_row(flat.data(), n, kDim,
+                                             query.values().data(), &want_dist,
+                                             simd::Level::kScalar);
+  double got_dist = 0.0;
+  EXPECT_EQ(set.nearest_of(query, &got_dist), want);
+  EXPECT_EQ(bits_of(got_dist), bits_of(want_dist));
+
+  std::vector<double> want_row(n), got_row(n);
+  simd::distance_row(flat.data(), n, kDim, query.values().data(), want_row.data(),
+                     simd::Level::kScalar);
+  set.distance_row(query, got_row.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(bits_of(got_row[i]), bits_of(want_row[i])) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace geored

@@ -39,6 +39,15 @@ contract rest on. Checks, over src/:
                        the pool on itself (the workers are already committed
                        to the outer task). Suppress a sanctioned driver with
                        `// lint: run-chunks-ok`.
+  6. hot-alloc         No std::vector construction inside the hot kernel
+                       files (the distance kernels, k-means, the evaluators,
+                       the summarizer ingest path): per-call scratch there
+                       goes through the epoch arena (common/arena.h) or a
+                       reused buffer, so allocation regressions cannot sneak
+                       back into the million-client paths. Deliberate sites
+                       (cold wire paths, the frozen scalar references,
+                       results that escape the call) carry
+                       `// lint: alloc-ok`.
 
 The pass is AST-aware when libclang's Python bindings are importable (it
 then classifies tokens by cursor kind, so declarations in comments or
@@ -98,11 +107,28 @@ UNORDERED_DECL = re.compile(
 RUN_CHUNKS = re.compile(r"\brun_chunks\s*\(")
 RUN_CHUNKS_ALLOWLIST_PREFIXES = ("src/common/thread_pool",)
 
+# A std::vector variable declaration (with or without constructor args) or a
+# vector temporary. References and qualified-name function definitions do
+# not match: only constructions that allocate per call.
+HOT_ALLOC = re.compile(
+    r"\bstd::vector\s*<[^;()]*?>\s+\w+\s*[;({=]"  # local / member declaration
+    r"|\bstd::vector\s*<[^;()]*?>\s*[({]"  # temporary
+)
+HOT_ALLOC_FILES = (
+    "src/common/point_set.cpp",
+    "src/common/point_set_simd.cpp",
+    "src/cluster/kmeans.cpp",
+    "src/cluster/moment_store.cpp",
+    "src/cluster/summarizer.cpp",
+    "src/placement/evaluate.cpp",
+)
+
 SUPPRESSIONS = {
     "naked-sync": "lint: naked-sync-ok",
     "wall-clock": "lint: wall-clock-ok",
     "unordered-iter": "lint: unordered-iter-ok",
     "run-chunks": "lint: run-chunks-ok",
+    "hot-alloc": "lint: alloc-ok",
 }
 
 MESSAGES = {
@@ -130,6 +156,11 @@ MESSAGES = {
         "direct ThreadPool::run_chunks call; use parallel_for / "
         "parallel_reduce_sum, which run nested parallelism inline instead of "
         "deadlocking the pool (sanctioned drivers: '// lint: run-chunks-ok')"
+    ),
+    "hot-alloc": (
+        "std::vector construction in a hot kernel file; use the epoch arena "
+        "(common/arena.h) or a reused buffer for per-call scratch "
+        "(deliberate sites: '// lint: alloc-ok')"
     ),
 }
 
@@ -193,6 +224,10 @@ def regex_lint_file(lint: FileLint, errors: list[str]) -> None:
         if not lint.posix.startswith(RUN_CHUNKS_ALLOWLIST_PREFIXES) and RUN_CHUNKS.search(line):
             if not suppressed("run-chunks", raw):
                 emit(errors, lint, lineno, "run-chunks")
+
+        if lint.posix in HOT_ALLOC_FILES and HOT_ALLOC.search(line):
+            if not suppressed("hot-alloc", raw):
+                emit(errors, lint, lineno, "hot-alloc")
 
         match = RANGE_FOR.search(line)
         if match and not suppressed("unordered-iter", raw):
