@@ -1,38 +1,17 @@
 // Shared table-printing helpers for the figure-reproduction harnesses.
 //
-// Every harness prints (a) the experimental setup, (b) one row per x-axis
-// value with one column per series — the same rows/series as the paper's
-// figure — and (c) the paper-shape checks that EXPERIMENTS.md records.
+// The implementations moved to src/scenario/table.h so the scenario engine
+// and the legacy benches format results through one code path; this header
+// keeps the historical geored::bench names as aliases.
 #pragma once
 
-#include <cstdio>
-#include <string>
-#include <vector>
+#include "scenario/table.h"
 
 namespace geored::bench {
 
-inline void print_header(const std::string& title, const std::string& setup) {
-  std::printf("\n==============================================================\n");
-  std::printf("%s\n", title.c_str());
-  std::printf("%s\n", setup.c_str());
-  std::printf("==============================================================\n");
-}
-
-inline void print_row_header(const std::string& x_label,
-                             const std::vector<std::string>& series) {
-  std::printf("%-22s", x_label.c_str());
-  for (const auto& name : series) std::printf("%18s", name.c_str());
-  std::printf("\n");
-}
-
-inline void print_row(double x, const std::vector<double>& values) {
-  std::printf("%-22.0f", x);
-  for (const double v : values) std::printf("%18.2f", v);
-  std::printf("\n");
-}
-
-inline void print_check(const std::string& description, bool passed) {
-  std::printf("  [%s] %s\n", passed ? "PASS" : "FAIL", description.c_str());
-}
+using scenario::print_check;
+using scenario::print_header;
+using scenario::print_row;
+using scenario::print_row_header;
 
 }  // namespace geored::bench

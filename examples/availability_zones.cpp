@@ -1,152 +1,51 @@
-// availability_zones: latency vs survival, end to end.
+// availability_zones: surviving regional blackouts, end to end.
 //
-// All clients live in North America, so the latency-optimal placement puts
-// every replica there — and a regional outage then takes out all of them at
-// once. This example runs the full event-driven system twice, with and
-// without the spread constraint, injects a 60-second North-American outage,
-// and prints what clients experienced in each world: the latency premium
-// paid for geographic diversity, and the blackout avoided by it.
+// Regional outages roll across the map — first every North-American data
+// center fails for one epoch, then every European one. The epoch protocol
+// must keep completing on the surviving replicas, count the silent summary
+// sources as lost, and route every access to a live replica.
+//
+// The whole experiment lives in scenarios/rolling_outages.json; this example
+// is a thin wrapper that loads it, runs the scenario engine, and compares
+// what clients experienced in calm epochs versus blackout epochs. Edit the
+// json (outage regions, windows, replication degree) and re-run — no
+// recompilation needed.
 //
 // Build & run:  ./build/examples/availability_zones
 #include <cstdio>
 
-#include "core/system.h"
-#include "netcoord/embedding.h"
-#include "placement/spread.h"
-#include "placement/strategy.h"
-#include "topology/planetlab_model.h"
+#include "common/stats.h"
+#include "scenario/runner.h"
 
 using namespace geored;
 
-namespace {
-
-struct Outcome {
-  double mean_delay_before = 0.0;
-  double mean_delay_during = 0.0;
-  std::uint64_t failed_accesses = 0;
-  place::Placement placement;
-};
-
-/// Runs the scenario; when `spread_ms` > 0 every proposed placement is
-/// repaired to that minimum pairwise replica distance.
-Outcome run_world(const topo::Topology& topology,
-                  const std::vector<coord::NetworkCoordinate>& coords, double spread_ms) {
-  constexpr std::size_t kDcs = 14;
-  std::vector<place::CandidateInfo> candidates;
-  for (std::size_t i = 0; i < kDcs; ++i) {
-    candidates.push_back({static_cast<topo::NodeId>(i), coords[i].position,
-                          std::numeric_limits<double>::infinity()});
-  }
-  std::vector<topo::NodeId> clients;
-  std::vector<Point> client_coords;
-  for (topo::NodeId i = kDcs; i < topology.size(); ++i) {
-    const auto& region = topology.region_names()[topology.node(i).region];
-    if (!region.starts_with("na-")) continue;  // NA-only client population
-    clients.push_back(i);
-    client_coords.push_back(coords[i].position);
-  }
-
-  sim::Simulator simulator;
-  sim::Network network(simulator, topology);
-  wl::StaticWorkload workload(std::vector<double>(clients.size(), 0.002));
-  core::SystemConfig config;
-  config.manager.replication_degree = 3;
-  config.epoch_ms = 30'000.0;
-  config.selection = core::ReplicaSelection::kTrueClosest;
-
-  core::ReplicationSystem system(simulator, network, candidates, clients, client_coords,
-                                 workload, candidates[0].node, config, 9);
-
-  // The outage: every NA data center fails during [120 s, 180 s).
-  for (const auto& candidate : candidates) {
-    const auto& region = topology.region_names()[topology.node(candidate.node).region];
-    if (region.starts_with("na-")) {
-      system.schedule_failure(candidate.node, 120'000.0, 180'000.0);
-    }
-  }
-
-  // Spread is applied by re-placing through the decorated strategy at the
-  // manager level: emulate by constraining the manager's proposals via the
-  // epoch mechanism — here we simply run the system and, for the spread
-  // world, re-pin the placement after the first epoch.
-  system.run(240'000.0);
-
-  Outcome outcome;
-  outcome.failed_accesses = system.failed_accesses();
-  outcome.placement = system.manager().placement();
-  const auto& epochs = system.epoch_history();
-  OnlineStats before, during;
-  for (const auto& epoch : epochs) {
-    const double end_ms = static_cast<double>(epoch.epoch + 1) * config.epoch_ms;
-    if (end_ms <= 120'000.0) {
-      before.add(epoch.mean_delay_ms);
-    } else if (end_ms <= 180'000.0) {
-      during.add(epoch.mean_delay_ms);
-    }
-  }
-  outcome.mean_delay_before = before.mean();
-  outcome.mean_delay_during = during.mean();
-  (void)spread_ms;
-  return outcome;
-}
-
-}  // namespace
-
 int main() {
-  topo::PlanetLabModelConfig topo_config;
-  topo_config.node_count = 150;
-  const auto topology = topo::generate_planetlab_like(topo_config, 11);
-  const auto coords =
-      coord::run_rnp(topology, coord::RnpConfig{}, coord::GossipConfig{}, 7);
+  const auto config =
+      scenario::load_scenario_file(GEORED_SCENARIO_DIR "/rolling_outages.json");
+  std::printf("scenario %s: %s\n", config.name.c_str(), config.description.c_str());
+  std::printf("seed %llu, %zu epochs x %.0f ms\n\n",
+              static_cast<unsigned long long>(config.seed), config.epochs,
+              config.epoch_ms);
 
-  // World A: unconstrained placement chases the NA population.
-  const auto unconstrained = run_world(topology, coords, 0.0);
-  std::printf("UNCONSTRAINED placement:");
-  for (const auto node : unconstrained.placement) std::printf(" dc%u", node);
-  std::printf("\n  before outage: %.1f ms mean access delay\n",
-              unconstrained.mean_delay_before);
-  std::printf("  during NA outage: %.1f ms, %llu accesses found NO live replica\n",
-              unconstrained.mean_delay_during,
-              static_cast<unsigned long long>(unconstrained.failed_accesses));
+  const auto result = scenario::run_scenario(config);
+  std::fputs(result.table().c_str(), stdout);
 
+  OnlineStats calm, blackout;
+  std::uint64_t lost_accesses = 0;
+  std::size_t lost_sources = 0;
+  for (const auto& row : result.epochs) {
+    (row.excluded.empty() ? calm : blackout).add(row.mean_delay_ms);
+    lost_accesses += row.lost_accesses;
+    lost_sources += row.lost_sources;
+  }
+  std::printf("\ncalm epochs: %.1f ms mean access delay\n", calm.mean());
+  std::printf("blackout epochs: %.1f ms mean access delay\n", blackout.mean());
+  std::printf("accesses that found no live replica: %llu\n",
+              static_cast<unsigned long long>(lost_accesses));
+  std::printf("summary sources lost to outages across the run: %zu\n", lost_sources);
   std::printf(
-      "\nThe failure-aware epochs eventually move replicas off the failed\n"
-      "region, but every access between the outage start and the next epoch\n"
-      "boundary either fails or crosses an ocean. A placement that had kept\n"
-      "one replica outside North America would have served them all:\n\n");
-
-  // World B: what the spread decorator would have chosen before the outage.
-  // (Demonstrated at the placement layer: repair the converged placement.)
-  place::PlacementInput input;
-  for (std::size_t i = 0; i < 14; ++i) {
-    input.candidates.push_back({static_cast<topo::NodeId>(i), coords[i].position,
-                                std::numeric_limits<double>::infinity()});
-  }
-  input.k = 3;
-  input.seed = 9;
-  cluster::SummarizerConfig summarizer_config;
-  summarizer_config.max_clusters = 12;
-  cluster::MicroClusterSummarizer summarizer(summarizer_config);
-  for (topo::NodeId i = 14; i < topology.size(); ++i) {
-    const auto& region = topology.region_names()[topology.node(i).region];
-    if (region.starts_with("na-")) summarizer.add(coords[i].position, 1.0);
-  }
-  input.summaries = summarizer.clusters();
-  place::SpreadConfig spread_config;
-  spread_config.min_spread_ms = 60.0;
-  place::SpreadConstrainedPlacement spread_strategy(place::make_strategy("online"),
-                                                    spread_config);
-  const auto spread_placement = spread_strategy.place(input);
-  std::printf("SPREAD-CONSTRAINED placement (min 60 ms apart):");
-  for (const auto node : spread_placement) std::printf(" dc%u", node);
-  std::printf("\n  min pairwise replica distance: %.0f ms\n",
-              place::min_pairwise_spread(spread_placement, input.candidates));
-  bool survives = false;
-  for (const auto node : spread_placement) {
-    const auto& region = topology.region_names()[topology.node(node).region];
-    if (!region.starts_with("na-")) survives = true;
-  }
-  std::printf("  survives a North-American regional outage: %s\n",
-              survives ? "YES (a replica lives outside NA)" : "no");
+      "\nEvery epoch completed: routing skips data centers that are down at\n"
+      "the access instant, and the collector accounts excluded replicas as\n"
+      "lost sources instead of stalling the epoch on them.\n");
   return 0;
 }

@@ -1,86 +1,38 @@
 // flash_crowd: demand-adaptive replication degree (paper §III-C).
 //
-// A quiet object suddenly goes viral in one region. With dynamic_degree
-// enabled the manager grows k while the spike lasts and sheds the extra
-// replicas afterwards — the paper's "create more replicas as the demand of
-// an object increases, discard replicas as the demand decreases".
+// A quiet object suddenly goes viral in Europe. With dynamic_degree enabled
+// the manager grows k while the spike lasts and sheds the extra replicas
+// afterwards — the paper's "create more replicas as the demand of an object
+// increases, discard replicas as the demand decreases".
+//
+// The whole experiment lives in scenarios/flash_crowd.json; this example is
+// a thin wrapper that loads it, runs the scenario engine, and reads the
+// degree trajectory out of the per-epoch rows. Edit the json (spike factor,
+// window, grow/shrink thresholds) and re-run — no recompilation needed.
 //
 // Build & run:  ./build/examples/flash_crowd
+#include <algorithm>
 #include <cstdio>
 
-#include <memory>
-
-#include "core/system.h"
-#include "netcoord/embedding.h"
-#include "topology/planetlab_model.h"
+#include "scenario/runner.h"
 
 using namespace geored;
 
 int main() {
-  topo::PlanetLabModelConfig topo_config;
-  topo_config.node_count = 100;
-  const auto topology = topo::generate_planetlab_like(topo_config, 99);
-  const auto coords =
-      coord::run_rnp(topology, coord::RnpConfig{}, coord::GossipConfig{}, 7);
+  const auto config =
+      scenario::load_scenario_file(GEORED_SCENARIO_DIR "/flash_crowd.json");
+  std::printf("scenario %s: %s\n", config.name.c_str(), config.description.c_str());
+  std::printf("seed %llu, %zu epochs x %.0f ms\n\n",
+              static_cast<unsigned long long>(config.seed), config.epochs,
+              config.epoch_ms);
 
-  constexpr std::size_t kDcs = 12;
-  std::vector<place::CandidateInfo> candidates;
-  for (std::size_t i = 0; i < kDcs; ++i) {
-    candidates.push_back({static_cast<topo::NodeId>(i), coords[i].position,
-                          std::numeric_limits<double>::infinity()});
-  }
-  std::vector<topo::NodeId> clients;
-  std::vector<Point> client_coords;
-  std::vector<bool> in_hot_region;
-  for (topo::NodeId i = kDcs; i < topology.size(); ++i) {
-    clients.push_back(i);
-    client_coords.push_back(coords[i].position);
-    // The spike hits European clients (regions named eu-*).
-    const auto region = topology.node(i).region;
-    in_hot_region.push_back(topology.region_names()[region].starts_with("eu-"));
-  }
-  std::size_t hot = 0;
-  for (const bool flag : in_hot_region) hot += flag;
-  std::printf("%zu clients, %zu in the flash-crowd region\n", clients.size(), hot);
+  const auto result = scenario::run_scenario(config);
+  std::fputs(result.table().c_str(), stdout);
 
-  // Quiet baseline 0.0004/ms; a 25x spike during [120 s, 300 s).
-  auto base =
-      std::make_unique<wl::StaticWorkload>(std::vector<double>(clients.size(), 0.0004));
-  wl::FlashCrowdWorkload workload(std::move(base), in_hot_region, 120'000.0, 300'000.0,
-                                  25.0);
-
-  sim::Simulator simulator;
-  sim::Network network(simulator, topology);
-  core::SystemConfig config;
-  config.manager.replication_degree = 2;
-  config.manager.dynamic_degree = true;
-  config.manager.grow_accesses_per_replica = 900.0;
-  config.manager.shrink_accesses_per_replica = 300.0;
-  config.manager.min_degree = 1;
-  config.manager.max_degree = 6;
-  config.manager.migration.min_relative_gain = 0.02;
-  config.epoch_ms = 30'000.0;
-  config.selection = core::ReplicaSelection::kByCoordinates;
-
-  core::ReplicationSystem system(simulator, network, candidates, clients, client_coords,
-                                 workload, candidates[0].node, config, 5);
-  system.run(480'000.0);
-
-  std::printf("\nepoch   window        accesses  degree  mean-delay  placement\n");
-  const auto& reports = system.epoch_reports();
-  for (std::size_t e = 0; e < system.epoch_history().size(); ++e) {
-    const auto& epoch = system.epoch_history()[e];
-    const double start_s = static_cast<double>(e) * config.epoch_ms / 1000.0;
-    std::printf("%5zu   [%3.0f,%3.0fs)  %8llu  %6zu  %8.1fms  ", epoch.epoch, start_s,
-                start_s + config.epoch_ms / 1000.0,
-                static_cast<unsigned long long>(epoch.accesses), reports[e].degree,
-                epoch.mean_delay_ms);
-    for (const auto node : epoch.placement) std::printf("dc%-3u ", node);
-    std::printf("\n");
-  }
-
-  std::size_t max_degree = 0, final_degree = reports.back().degree;
-  for (const auto& report : reports) max_degree = std::max(max_degree, report.degree);
+  std::size_t max_degree = 0;
+  for (const auto& row : result.epochs)
+    max_degree = std::max(max_degree, row.total_degree);
+  const std::size_t final_degree = result.epochs.back().total_degree;
   std::printf("\ndegree grew to %zu during the spike and settled back to %zu after it\n",
               max_degree, final_degree);
   return 0;

@@ -29,8 +29,15 @@ FleetManager::FleetManager(std::vector<place::CandidateInfo> candidates, FleetCo
   }
   groups_.reserve(config_.groups);
   for (std::size_t g = 0; g < config_.groups; ++g) {
-    groups_.push_back(std::make_unique<ReplicationManager>(
-        candidates, config_.manager, seed ^ (0x9e3779b97f4a7c15ULL * (g + 1))));
+    const std::uint64_t group_seed = seed ^ (0x9e3779b97f4a7c15ULL * (g + 1));
+    if (config_.pipeline_factory) {
+      groups_.push_back(std::make_unique<ReplicationManager>(
+          candidates, config_.manager, group_seed,
+          config_.pipeline_factory(config_.manager, g)));
+    } else {
+      groups_.push_back(
+          std::make_unique<ReplicationManager>(candidates, config_.manager, group_seed));
+    }
   }
 }
 
@@ -84,6 +91,14 @@ FleetEpochReport FleetManager::run_epochs(const std::set<topo::NodeId>& excluded
       for (std::size_t g = begin; g < end; ++g) {
         demands[g].delay_by_degree =
             groups_[g]->delay_by_degree_curve(config_.min_degree, config_.max_degree);
+        // The group's priority weight scales its whole demand curve, so a
+        // weight-2 group bids for marginal replicas as if twice as hot —
+        // the scenario engine's lever for anticipated (not yet measured)
+        // demand shifts. Neutral weight 1 leaves the curve untouched.
+        const double weight = groups_[g]->budget_weight();
+        if (weight != 1.0) {
+          for (double& delay : demands[g].delay_by_degree) delay *= weight;
+        }
       }
     });
     AllocatorConfig allocator;
@@ -96,6 +111,38 @@ FleetEpochReport FleetManager::run_epochs(const std::set<topo::NodeId>& excluded
     }
   }
   return report;
+}
+
+void FleetManager::set_group_weight(std::size_t index, double weight) {
+  GEORED_ENSURE(index < groups_.size(), "group index out of range");
+  groups_[index]->set_budget_weight(weight);
+}
+
+double FleetManager::group_weight(std::size_t index) const {
+  GEORED_ENSURE(index < groups_.size(), "group index out of range");
+  return groups_[index]->budget_weight();
+}
+
+void FleetManager::save(ByteWriter& writer) const {
+  writer.write_u32(kFleetCheckpointMagic);
+  writer.write_u32(kFleetCheckpointVersion);
+  writer.write_u32(static_cast<std::uint32_t>(groups_.size()));
+  for (const auto& group : groups_) group->save(writer);
+}
+
+void FleetManager::restore(ByteReader& reader) {
+  const std::uint32_t magic = reader.read_u32();
+  GEORED_ENSURE(magic == kFleetCheckpointMagic, "not a fleet checkpoint (bad magic)");
+  const std::uint32_t version = reader.read_u32();
+  GEORED_ENSURE(version == kFleetCheckpointVersion,
+                "unsupported fleet checkpoint version " + std::to_string(version) +
+                    " (this build reads version " +
+                    std::to_string(kFleetCheckpointVersion) + ")");
+  const std::uint32_t groups = reader.read_u32();
+  GEORED_ENSURE(groups == groups_.size(),
+                "fleet checkpoint holds " + std::to_string(groups) +
+                    " groups but this fleet has " + std::to_string(groups_.size()));
+  for (auto& group : groups_) group->restore(reader);
 }
 
 }  // namespace geored::core

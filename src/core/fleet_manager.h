@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <set>
@@ -23,6 +24,13 @@
 #include "placement/types.h"
 
 namespace geored::core {
+
+/// Fleet checkpoint wire format (FleetManager::save): an envelope of
+/// per-group ReplicationManager checkpoints, so the fleet's whole budget
+/// allocation — each group's granted degree and priority weight — survives
+/// a coordinator failover in one blob.
+inline constexpr std::uint32_t kFleetCheckpointMagic = 0x47524643;  // "GRFC"
+inline constexpr std::uint32_t kFleetCheckpointVersion = 1;
 
 struct FleetConfig {
   /// Number of object groups (each governed by its own manager/pipeline).
@@ -39,6 +47,14 @@ struct FleetConfig {
   std::size_t replica_budget = 0;
   std::size_t min_degree = 1;
   std::size_t max_degree = 7;
+
+  /// Optional per-group stage composition: when set, group g's manager runs
+  /// on pipeline_factory(manager_config, g) instead of standard_pipeline —
+  /// how the scenario engine swaps in e.g. the RPC-backed collector without
+  /// the caller constructing managers itself. The factory must return a
+  /// fully-populated pipeline; it is invoked once per group at
+  /// construction.
+  std::function<EpochPipeline(const ManagerConfig&, std::size_t)> pipeline_factory;
 };
 
 /// One fleet-wide epoch round: every group's report, plus the budget
@@ -89,6 +105,26 @@ class FleetManager {
   /// but must not overlap run_epochs: an epoch swaps the summarizers the
   /// record paths feed.
   FleetEpochReport run_epochs(const std::set<topo::NodeId>& excluded = {});
+
+  /// Sets group `index`'s allocation-priority weight: the group's demand
+  /// curve is multiplied by it before the replica budget is divided, so an
+  /// external controller (scenario engine, operator policy) can bias the
+  /// allocation ahead of the traffic actually shifting. Neutral weight is
+  /// 1; takes effect at the next run_epochs.
+  void set_group_weight(std::size_t index, double weight);
+  double group_weight(std::size_t index) const;
+
+  /// Serializes every group's checkpoint behind a fleet envelope
+  /// (kFleetCheckpointMagic / kFleetCheckpointVersion + group count), so
+  /// one blob captures the fleet's full state including the budget
+  /// allocation in force.
+  void save(ByteWriter& writer) const;
+
+  /// Restores a blob written by save(). The fleet must have been built with
+  /// the same candidates and configuration (the group count is validated);
+  /// bad magic, unknown versions, and mismatched group counts throw before
+  /// any group is touched.
+  void restore(ByteReader& reader);
 
  private:
   FleetConfig config_;

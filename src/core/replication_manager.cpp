@@ -70,16 +70,23 @@ const place::CandidateInfo& ReplicationManager::candidate_info(topo::NodeId node
 
 topo::NodeId ReplicationManager::serve(const Point& client_coords, double data_weight) {
   GEORED_CHECK(!placement_.empty(), "manager has no replicas");
-  topo::NodeId best = placement_.front();
+  const auto best = route(client_coords);
+  record_access(*best, client_coords, data_weight);
+  return *best;
+}
+
+std::optional<topo::NodeId> ReplicationManager::route(const Point& client_coords,
+                                                      const std::set<topo::NodeId>& down) const {
+  std::optional<topo::NodeId> best;
   double best_dist = std::numeric_limits<double>::infinity();
   for (const auto node : placement_) {
+    if (down.contains(node)) continue;
     const double dist = client_coords.distance_squared_to(candidate_info(node).coords);
     if (dist < best_dist) {
       best_dist = dist;
       best = node;
     }
   }
-  record_access(best, client_coords, data_weight);
   return best;
 }
 
@@ -236,6 +243,13 @@ void ReplicationManager::maybe_adjust_degree(std::uint64_t epoch_accesses) {
 void ReplicationManager::set_degree(std::size_t degree) {
   GEORED_ENSURE(degree >= 1, "replication degree must be >= 1");
   degree_ = std::clamp(degree, config_.min_degree, config_.max_degree);
+  budget_granted_ = true;
+}
+
+void ReplicationManager::set_budget_weight(double weight) {
+  GEORED_ENSURE(std::isfinite(weight) && weight > 0.0,
+                "budget weight must be positive and finite");
+  budget_weight_ = weight;
 }
 
 std::vector<double> ReplicationManager::delay_by_degree_curve(std::size_t min_degree,
@@ -284,6 +298,10 @@ void ReplicationManager::save(ByteWriter& writer) const {
   writer.write_u64(epoch_index_);
   writer.write_u64(this->epoch_accesses());
   writer.write_u64(degree_);
+  // v2: the external budget state, so a restored stand-by resumes a fleet
+  // allocator's decisions instead of reverting to the configured defaults.
+  writer.write_u32(budget_granted_ ? 1 : 0);
+  writer.write_f64(budget_weight_);
   writer.write_u32(static_cast<std::uint32_t>(placement_.size()));
   for (const auto node : placement_) writer.write_u32(node);
   for (const auto node : placement_) {
@@ -305,13 +323,23 @@ void ReplicationManager::restore(ByteReader& reader) {
   GEORED_ENSURE(magic == kCheckpointMagic,
                 "not a replication-manager checkpoint (bad magic)");
   const std::uint32_t version = reader.read_u32();
-  GEORED_ENSURE(version == kCheckpointVersion,
+  GEORED_ENSURE(version >= 1 && version <= kCheckpointVersion,
                 "unsupported checkpoint format version " + std::to_string(version) +
-                    " (this build reads version " + std::to_string(kCheckpointVersion) + ")");
+                    " (this build reads versions 1.." + std::to_string(kCheckpointVersion) + ")");
   const std::uint64_t epoch_index = reader.read_u64();
   const std::uint64_t epoch_accesses = reader.read_u64();
   const auto degree = static_cast<std::size_t>(reader.read_u64());
   GEORED_ENSURE(degree >= 1, "corrupt checkpoint: zero degree");
+  // v1 predates external budget state; restore the documented defaults
+  // (no grant recorded, neutral weight).
+  bool budget_granted = false;
+  double budget_weight = 1.0;
+  if (version >= 2) {
+    budget_granted = reader.read_u32() != 0;
+    budget_weight = reader.read_f64();
+    GEORED_ENSURE(std::isfinite(budget_weight) && budget_weight > 0.0,
+                  "corrupt checkpoint: budget weight must be positive and finite");
+  }
   const std::uint32_t placement_size = reader.read_u32();
   place::Placement placement;
   placement.reserve(placement_size);
@@ -343,6 +371,8 @@ void ReplicationManager::restore(ByteReader& reader) {
     ingest_shards_[s]->accesses = s == 0 ? epoch_accesses : 0;
   }
   degree_ = degree;
+  budget_granted_ = budget_granted;
+  budget_weight_ = budget_weight;
   placement_ = std::move(placement);
   summarizers_ = std::move(summarizers);
   pipeline_.proposer->set_warm_centroids(std::move(centroids));
@@ -374,10 +404,18 @@ EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded
   report.degree = degree_;
 
   // 2. Collect summaries from every replica (and account their wire size —
-  //    this is the O(km) bandwidth of Table II).
+  //    this is the O(km) bandwidth of Table II). A replica on an excluded
+  //    (failed) data center cannot report: its summary is skipped and the
+  //    source accounted as lost, exactly like a collection-protocol loss —
+  //    the epoch proceeds on what the live replicas know.
   std::vector<SummarySource> sources;
   sources.reserve(summarizers_.size());
+  std::size_t excluded_sources = 0;
   for (const auto& [node, summarizer] : summarizers_) {
+    if (excluded.contains(node)) {
+      ++excluded_sources;
+      continue;
+    }
     sources.push_back({node, summarizer.clusters()});
   }
   const std::uint64_t epoch_seed = seed_ ^ (0x9e3779b97f4a7c15ULL + epoch_index_);
@@ -385,7 +423,7 @@ EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded
       pipeline_.collector->collect(sources, {usable, degree_, epoch_seed});
   report.summary_bytes = collected.summary_bytes;
   report.stale_sources = collected.stale_sources.size();
-  report.lost_sources = collected.lost_sources.size();
+  report.lost_sources = collected.lost_sources.size() + excluded_sources;
 
   // 3. Propose a placement via the proposer stage over the usable
   //    candidates — unless the collection protocol already agreed on one

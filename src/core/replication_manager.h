@@ -55,8 +55,15 @@ namespace geored::core {
 /// identifies the blob as a manager checkpoint at all, and the version is
 /// bumped whenever the payload layout changes so an old blob fails with a
 /// clear error instead of misparsing silently.
+///
+/// Version history:
+///   1  placement, degree, per-replica summaries, counters, warm centroids
+///   2  v1 + the external budget state (budget_granted flag, budget_weight)
+///      appended after the degree field, so a restored coordinator resumes
+///      a fleet allocator's decisions. v1 blobs still load; they restore
+///      the documented defaults budget_granted = false, budget_weight = 1.
 inline constexpr std::uint32_t kCheckpointMagic = 0x47524D43;  // "GRMC"
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 struct ManagerConfig {
   /// Target degree of replication (the paper's k).
@@ -147,6 +154,14 @@ class ReplicationManager {
   /// lowest estimated latency, records the access, and returns the replica.
   topo::NodeId serve(const Point& client_coords, double data_weight = 1.0);
 
+  /// Pure routing: the replica nearest `client_coords` in coordinate space,
+  /// skipping any replica in `down` (e.g. data centers currently failed).
+  /// Returns nullopt when every replica is down. Records nothing — callers
+  /// that serve the access follow up with record_access. serve() is
+  /// route({}) + record_access.
+  std::optional<topo::NodeId> route(const Point& client_coords,
+                                    const std::set<topo::NodeId>& down = {}) const;
+
   /// Records an access served by `replica` (which must currently hold a
   /// replica) for a client at `client_coords`. Use this form when the caller
   /// did its own replica selection (e.g. the event-driven simulator).
@@ -191,6 +206,19 @@ class ReplicationManager {
   /// effect at the next epoch: the proposal is sized to the new degree and
   /// adopted under the degree-change rule.
   void set_degree(std::size_t degree);
+
+  /// Whether an external allocator has granted this manager a degree via
+  /// set_degree since construction (or since the restored checkpoint said
+  /// so) — how a fleet distinguishes "budget decision in force" from "still
+  /// on the configured default" after a coordinator failover.
+  bool budget_granted() const { return budget_granted_; }
+
+  /// Allocation-priority weight an external controller (scenario engine,
+  /// operator) assigned this object. FleetManager multiplies the group's
+  /// demand curve by it before dividing the replica budget, so weight 2
+  /// bids for replicas as if the group were twice as hot. 1 = neutral.
+  void set_budget_weight(double weight);
+  double budget_weight() const { return budget_weight_; }
 
   /// Estimated summary-weighted delay per access for each degree in
   /// [min_degree, max_degree], scaled by the summarized access weight so
@@ -249,6 +277,8 @@ class ReplicationManager {
   std::uint64_t seed_;
   std::uint64_t epoch_index_ = 0;
   std::size_t degree_;
+  bool budget_granted_ = false;
+  double budget_weight_ = 1.0;
   place::Placement placement_;
   /// mutable with the shards: staging is a cache layout, not observable
   /// state — const readers flush it so summaries never depend on the grain.

@@ -1,0 +1,83 @@
+#include "workload/modulated.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace geored::wl {
+
+namespace {
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+}
+
+double RateProfile::multiplier(std::size_t i, double time_ms) const {
+  if (!affected.empty() && !affected.at(i)) return 1.0;
+  switch (kind) {
+    case Kind::kStep:
+      return (time_ms >= start_ms && time_ms < end_ms) ? factor : 1.0;
+    case Kind::kDiurnal: {
+      const double angle = kTwoPi * (time_ms / period_ms - phase);
+      const double envelope = 0.5 * (1.0 + std::cos(angle));
+      return std::max(floor_fraction, envelope);
+    }
+  }
+  return 1.0;  // unreachable; keeps -Wreturn-type quiet
+}
+
+double RateProfile::max_multiplier(std::size_t i) const {
+  if (!affected.empty() && !affected.at(i)) return 1.0;
+  switch (kind) {
+    case Kind::kStep:
+      // 1 outside the window, factor inside; the bound covers both.
+      return std::max(1.0, factor);
+    case Kind::kDiurnal:
+      // The envelope tops out at 1 (at the peak phase).
+      return 1.0;
+  }
+  return 1.0;
+}
+
+ModulatedWorkload::ModulatedWorkload(std::unique_ptr<Workload> base,
+                                     std::vector<RateProfile> profiles)
+    : base_(std::move(base)), profiles_(std::move(profiles)) {
+  GEORED_ENSURE(base_ != nullptr, "modulated workload needs a base workload");
+  const std::size_t clients = base_->client_count();
+  for (const auto& profile : profiles_) {
+    GEORED_ENSURE(profile.affected.empty() || profile.affected.size() == clients,
+                  "profile affected mask must cover every client when present");
+    switch (profile.kind) {
+      case RateProfile::Kind::kStep:
+        GEORED_ENSURE(profile.end_ms >= profile.start_ms,
+                      "step profile window must be ordered");
+        GEORED_ENSURE(profile.factor > 0.0 && std::isfinite(profile.factor),
+                      "step profile factor must be positive and finite");
+        break;
+      case RateProfile::Kind::kDiurnal:
+        GEORED_ENSURE(profile.period_ms > 0.0, "diurnal profile period must be positive");
+        GEORED_ENSURE(profile.phase >= 0.0 && profile.phase < 1.0,
+                      "diurnal profile phase must lie in [0,1)");
+        GEORED_ENSURE(profile.floor_fraction >= 0.0 && profile.floor_fraction <= 1.0,
+                      "diurnal profile floor must lie in [0,1]");
+        break;
+    }
+  }
+  max_multiplier_.assign(clients, 1.0);
+  for (std::size_t i = 0; i < clients; ++i) {
+    for (const auto& profile : profiles_) {
+      max_multiplier_[i] *= profile.max_multiplier(i);
+    }
+  }
+}
+
+double ModulatedWorkload::rate(std::size_t i, double time_ms) const {
+  double multiplier = 1.0;
+  for (const auto& profile : profiles_) multiplier *= profile.multiplier(i, time_ms);
+  return base_->rate(i, time_ms) * multiplier;
+}
+
+double ModulatedWorkload::max_rate(std::size_t i) const {
+  return base_->max_rate(i) * max_multiplier_.at(i);
+}
+
+}  // namespace geored::wl

@@ -8,6 +8,7 @@
 //   geored replay      replay a trace through the replicated KV store
 //   geored stability   coordinate drift per round, Vivaldi vs RNP
 //   geored verify      quick self-check of the paper's core results
+//   geored scenario    run a declarative scenario file (scenarios/*.json)
 //
 // Every subcommand accepts --help. All randomness is seeded; identical
 // invocations produce identical output.
@@ -21,6 +22,7 @@
 #include "core/evaluation.h"
 #include "netcoord/stability.h"
 #include "placement/strategy.h"
+#include "scenario/runner.h"
 #include "store/replay.h"
 #include "topology/analysis.h"
 #include "topology/planetlab_model.h"
@@ -375,6 +377,40 @@ int cmd_verify(const std::vector<std::string>& args) {
   return all_ok ? 0 : 1;
 }
 
+int cmd_scenario(const std::vector<std::string>& args) {
+  FlagParser parser("geored scenario run <file>",
+                    "run a declarative scenario file: seeded dynamic experiment with "
+                    "failures, churn, and flash crowds; prints the per-epoch sweep table");
+  parser.add_int("seed", -1, "override the scenario file's seed (-1 keeps it)");
+  parser.add_string("out", "", "write runs/<name>.jsonl + tables/<name>.txt under this dir");
+  parser.add_bool("print-jsonl", false, "dump the per-epoch jsonl to stdout");
+  const auto positional = parser.parse(args);
+  if (parser.help_requested()) return handled_help(parser);
+  if (positional.size() != 2 || positional[0] != "run") {
+    std::fputs("usage: geored scenario run <file.json> [--seed N] [--out DIR]\n", stderr);
+    return 2;
+  }
+
+  scenario::ScenarioConfig config = scenario::load_scenario_file(positional[1]);
+  if (parser.get_int("seed") >= 0) {
+    config.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  }
+  std::printf("scenario %s: %s\n", config.name.c_str(), config.description.c_str());
+  std::printf("seed %llu, %zu epochs x %.0f ms, %zu nodes (%zu DCs), %zu group(s)\n\n",
+              static_cast<unsigned long long>(config.seed), config.epochs, config.epoch_ms,
+              config.topology.nodes, config.topology.dcs, config.fleet.groups);
+
+  const scenario::ScenarioResult result = scenario::run_scenario(config);
+  std::fputs(result.table().c_str(), stdout);
+  if (parser.get_bool("print-jsonl")) std::fputs(result.jsonl().c_str(), stdout);
+  if (!parser.get_string("out").empty()) {
+    const std::string jsonl_path =
+        scenario::write_artifacts(config, result, parser.get_string("out"));
+    std::printf("\nwrote %s\n", jsonl_path.c_str());
+  }
+  return 0;
+}
+
 void print_usage() {
   std::puts(
       "geored — geo-replication toolkit\n"
@@ -387,7 +423,8 @@ void print_usage() {
       "  tracegen    synthesize a session-model access trace\n"
       "  replay      replay a trace through the replicated KV store\n"
       "  stability   coordinate drift per round: Vivaldi vs RNP\n"
-      "  verify      quick self-check of the paper's core results");
+      "  verify      quick self-check of the paper's core results\n"
+      "  scenario    run a declarative scenario file (scenario run <file>)");
 }
 
 }  // namespace
@@ -408,6 +445,7 @@ int main(int argc, char** argv) {
     if (command == "replay") return cmd_replay(args);
     if (command == "verify") return cmd_verify(args);
     if (command == "stability") return cmd_stability(args);
+    if (command == "scenario") return cmd_scenario(args);
     if (command == "--help" || command == "help") {
       print_usage();
       return 0;
