@@ -7,6 +7,7 @@
 // its unbatched form) at four scales up to a million clients, checks that
 // the outputs agree, and writes machine-readable results to a JSON file
 // (BENCH_perf.json by default; see docs/performance.md).
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -118,6 +119,13 @@ struct CaseResult {
   bool match = false;
   double baseline_value = 0.0;
   double optimized_value = 0.0;
+  /// Per-stage attribution of both arms (epoch_end_to_end only): the
+  /// EpochStageTrace of the best-timed repeat, with the record-path ingest
+  /// folded into ingest_flush_ms so staged and per-access ingestion are
+  /// attributed to the same stage.
+  bool has_stages = false;
+  core::EpochStageTrace stages_baseline;
+  core::EpochStageTrace stages_optimized;
 
   double speedup() const {
     return ms_optimized > 0.0 ? ms_baseline / ms_optimized : 0.0;
@@ -629,26 +637,37 @@ std::vector<CaseResult> run_scale(const Scale& scale, std::size_t repeats,
              static_cast<double>(incremental.size()), naive == incremental);
   }
 
-  // --- End-to-end epoch pipeline: unbatched/unsharded vs production --------
-  // One full manager epoch — ingest, summary collection, macro-clustering
-  // proposal, migration gate, adoption, checkpoint — at every scale
-  // including the million-client row. The baseline manager is configured
-  // back to the historical shape (ingest grain 1 = immediate per-access
-  // ingestion, one staging shard = one global staging lock) and fed one
-  // record_access call per access in stream order; the optimized manager
-  // keeps the production defaults (batched grain, sharded staging) and is
-  // fed contiguous per-replica batches. Same construction seed and the same
-  // per-replica access streams, so both must adopt the same placement and
-  // serialize byte-identical checkpoints.
+  // --- End-to-end epoch pipeline: frozen scalar stages vs production -------
+  // One full epoch — ingest, summary collection, macro-clustering proposal,
+  // migration gate, adoption — at every scale including the million-client
+  // row. The baseline is the historical pipeline hand-rolled from the
+  // frozen scalar references: per-access ScalarMicroClusterSummarizer
+  // ingest in stream order, direct collection, the scalar k-means solver
+  // behind the proposal, Point-loop delay estimates at the gate, and
+  // ScalarNearestRedistributionAdopter redistribution. The optimized arm is
+  // the production ReplicationManager (batched sharded ingest, SIMD-bounded
+  // solver, kernelized adoption). Every stage is bit-identical by contract,
+  // so both arms must adopt the same placement, serialize byte-identical
+  // per-replica summaries, and agree on the epoch counters. Both arms
+  // record per-stage wall time (snapshot of the best-timed repeat) into the
+  // JSON so the critical path is attributed, not just the ratio.
   if (want("epoch_end_to_end")) {
     const std::size_t n_accesses = scale.n_clients * 2;
     core::ManagerConfig mconfig;
     mconfig.replication_degree = scale.k;
     mconfig.max_degree = std::max(mconfig.max_degree, scale.k);
+    // Summarizer budget above the sites-per-replica count and absorb floor
+    // above the site spread (in kDim dimensions), so each replica reaches
+    // the absorb steady state — the regime the paper's geo-clustered
+    // clients produce (see the ingest_stream rationale; a budget below the
+    // resident site count makes the shared merge scan dominate both arms
+    // and the epoch stops measuring its hot paths).
+    mconfig.summarizer.max_clusters = 8;
+    mconfig.summarizer.min_absorb_radius = 25.0;
     const std::uint64_t epoch_seed = 0xe90c0000 + scale.n_clients;
-    core::ManagerConfig base_config = mconfig;
-    base_config.ingest_batch_grain = 1;
-    base_config.ingest_shards = 1;
+    // The derived seed run_epoch hands its collector/proposer on epoch 0;
+    // the hand-rolled baseline must consume the identical stream.
+    const std::uint64_t derived_seed = epoch_seed ^ 0x9e3779b97f4a7c15ULL;
 
     // The access stream and its replica routing are workload, not pipeline:
     // both are fixed outside the timers. Each access goes to the nearest
@@ -676,44 +695,189 @@ std::vector<CaseResult> run_scale(const Scale& scale, std::size_t repeats,
       replica_weights.at(access_replica[i]).push_back(access_weights[i]);
     }
 
-    std::vector<std::uint8_t> base_bytes, fast_bytes;
-    core::EpochReport base_report, fast_report;
-    ms_base = time_ms(repeats, [&] {
-      core::ReplicationManager manager(world.candidates, base_config, epoch_seed);
-      for (std::size_t i = 0; i < n_accesses; ++i) {
-        manager.record_access(access_replica[i], access_points[i], access_weights[i]);
+    // ReplicationManager::estimate_average_delay restated on Point loops
+    // (candidate node ids index world.candidates by construction).
+    const auto estimate_delay_scalar =
+        [&](const Placement& placement, const std::vector<cluster::MicroCluster>& summaries) {
+          double total = 0.0, accesses = 0.0;
+          for (const auto& micro : summaries) {
+            if (micro.count() == 0) continue;
+            const Point centroid = micro.centroid();
+            double best = std::numeric_limits<double>::infinity();
+            for (const auto node : placement) {
+              best = std::min(best, centroid.distance_to(world.candidates[node].coords));
+            }
+            total += best * static_cast<double>(micro.count());
+            accesses += static_cast<double>(micro.count());
+          }
+          return accesses > 0.0 ? total / accesses : 0.0;
+        };
+
+    std::vector<std::uint8_t> base_blob, fast_blob;
+    Placement base_adopted;
+    double base_new_delay = 0.0;
+    std::size_t base_summary_bytes = 0;
+    core::EpochStageTrace base_stages, fast_stages;
+    core::EpochReport fast_report;
+    ms_base = std::numeric_limits<double>::infinity();
+    ms_opt = std::numeric_limits<double>::infinity();
+
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      core::EpochStageTrace tr;
+      const auto start = std::chrono::steady_clock::now();
+      // (1) Historical ingest: one frozen scalar summarizer per replica,
+      //     one add() per access, stream order.
+      std::map<topo::NodeId, cluster::ScalarMicroClusterSummarizer> summarizers;
+      for (const auto id : routed) {
+        summarizers.emplace(id, cluster::ScalarMicroClusterSummarizer(mconfig.summarizer));
       }
-      base_report = manager.run_epoch();
+      {
+        const core::StageTimer timer(tr.ingest_flush_ms);
+        for (std::size_t i = 0; i < n_accesses; ++i) {
+          summarizers.at(access_replica[i]).add(access_points[i], access_weights[i]);
+        }
+      }
+      // (2) Direct collection from every replica in node order.
+      core::CollectedSummaries collected;
+      {
+        const core::StageTimer timer(tr.collect_ms);
+        std::vector<core::SummarySource> sources;
+        sources.reserve(summarizers.size());
+        for (const auto& [node, summarizer] : summarizers) {
+          sources.push_back({node, summarizer.clusters()});
+        }
+        core::DirectCollector collector;
+        collected = collector.collect(sources, {world.candidates, scale.k, derived_seed});
+      }
+      // (3) Macro-clustering proposal through the frozen scalar solver (via
+      // the pipeline proposer stage; its warm-start cache is empty on a
+      // fresh epoch, exactly like the manager's own epoch 0).
+      Placement proposed;
+      {
+        const core::StageTimer timer(tr.propose_ms);
+        place::OnlineClusteringConfig pconfig = mconfig.strategy;
+        pconfig.use_scalar_solver = true;
+        place::PlacementInput input;
+        input.candidates = world.candidates;
+        input.k = scale.k;
+        input.summaries = collected.summaries;
+        input.seed = derived_seed;
+        core::ClusteringProposer proposer(pconfig);
+        proposed = proposer.propose(input);
+      }
+      // (4) Migration gate on the scalar delay estimates.
+      core::MigrationDecision decision;
+      double new_delay = 0.0;
+      {
+        const core::StageTimer timer(tr.gate_ms);
+        const double old_delay = estimate_delay_scalar(routed, collected.summaries);
+        new_delay = estimate_delay_scalar(proposed, collected.summaries);
+        std::size_t moved = 0;
+        for (const auto node : proposed) {
+          if (std::find(routed.begin(), routed.end(), node) == routed.end()) ++moved;
+        }
+        decision = core::PolicyGate(mconfig.migration).evaluate(old_delay, new_delay, moved);
+      }
+      // (5) Adopt via the frozen scalar redistribution, or retain (decay).
+      Placement adopted_placement = routed;
       ByteWriter writer;
-      manager.save(writer);
-      base_bytes = writer.bytes();
-      g_sink += static_cast<double>(base_bytes.size());
-    });
-    ms_opt = time_ms(repeats, [&] {
+      {
+        const core::StageTimer timer(tr.adopt_ms);
+        if (decision.migrate || proposed.size() != routed.size()) {
+          adopted_placement = proposed;
+          std::map<topo::NodeId, cluster::MicroClusterSummarizer> adopted;
+          core::ScalarNearestRedistributionAdopter adopter;
+          adopter.adopt(proposed, collected.summaries, world.candidates, mconfig.summarizer,
+                        adopted);
+          for (const auto node : adopted_placement) {
+            cluster::write_clusters(writer, adopted.at(node).clusters());
+          }
+        } else {
+          for (auto& [node, summarizer] : summarizers) summarizer.decay();
+          for (const auto node : adopted_placement) {
+            cluster::write_clusters(writer, summarizers.at(node).clusters());
+          }
+        }
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      g_sink += static_cast<double>(writer.size());
+      const double ms = std::chrono::duration<double, std::milli>(stop - start).count();
+      if (ms < ms_base) {
+        ms_base = ms;
+        base_stages = tr;
+        base_blob = writer.bytes();
+        base_adopted = adopted_placement;
+        base_new_delay = new_delay;
+        base_summary_bytes = collected.summary_bytes;
+      }
+    }
+
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      core::EpochStageTrace tr;
+      const auto start = std::chrono::steady_clock::now();
       core::ReplicationManager manager(world.candidates, mconfig, epoch_seed);
-      for (const auto& [id, batch] : replica_batches) {
-        manager.record_access_batch(id, batch, replica_weights.at(id));
+      {
+        // Record-path ingest (staging copy + grain-triggered summarization)
+        // attributed to the same slot the baseline's per-access loop uses.
+        const core::StageTimer timer(tr.ingest_flush_ms);
+        for (const auto& [id, batch] : replica_batches) {
+          manager.record_access_batch(id, batch, replica_weights.at(id));
+        }
       }
-      fast_report = manager.run_epoch();
+      core::EpochReport report = manager.run_epoch();
+      tr.ingest_flush_ms += report.stages.ingest_flush_ms;
+      tr.collect_ms = report.stages.collect_ms;
+      tr.propose_ms = report.stages.propose_ms;
+      tr.gate_ms = report.stages.gate_ms;
+      tr.adopt_ms = report.stages.adopt_ms;
       ByteWriter writer;
-      manager.save(writer);
-      fast_bytes = writer.bytes();
-      g_sink += static_cast<double>(fast_bytes.size());
-    });
-    const bool match =
-        base_bytes == fast_bytes &&
-        base_report.adopted_placement == fast_report.adopted_placement &&
-        base_report.epoch_accesses == fast_report.epoch_accesses &&
-        base_report.new_estimated_delay_ms == fast_report.new_estimated_delay_ms;
-    add_case("epoch_end_to_end", ms_base, ms_opt, static_cast<double>(base_bytes.size()),
-             static_cast<double>(fast_bytes.size()), match);
+      for (const auto node : report.adopted_placement) {
+        cluster::write_clusters(writer, manager.summary_of(node));
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      g_sink += static_cast<double>(writer.size());
+      const double ms = std::chrono::duration<double, std::milli>(stop - start).count();
+      if (ms < ms_opt) {
+        ms_opt = ms;
+        fast_stages = tr;
+        fast_blob = writer.bytes();
+        fast_report = report;
+      }
+    }
+
+    const bool match = base_adopted == fast_report.adopted_placement &&
+                       base_blob == fast_blob &&
+                       fast_report.epoch_accesses == n_accesses &&
+                       base_summary_bytes == fast_report.summary_bytes &&
+                       base_new_delay == fast_report.new_estimated_delay_ms;
+    add_case("epoch_end_to_end", ms_base, ms_opt, static_cast<double>(base_blob.size()),
+             static_cast<double>(fast_blob.size()), match);
+    results.back().has_stages = true;
+    results.back().stages_baseline = base_stages;
+    results.back().stages_optimized = fast_stages;
+    std::printf(
+        "      stages (ms, base -> opt): ingest %.2f -> %.2f, collect %.3f -> %.3f, "
+        "propose %.3f -> %.3f, gate %.3f -> %.3f, adopt %.3f -> %.3f\n",
+        base_stages.ingest_flush_ms, fast_stages.ingest_flush_ms, base_stages.collect_ms,
+        fast_stages.collect_ms, base_stages.propose_ms, fast_stages.propose_ms,
+        base_stages.gate_ms, fast_stages.gate_ms, base_stages.adopt_ms,
+        fast_stages.adopt_ms);
   }
   return results;
+}
+
+void write_stage_trace(std::ofstream& out, const char* key, const core::EpochStageTrace& t) {
+  out << ", \"" << key << "\": {\"ingest_flush_ms\": " << t.ingest_flush_ms
+      << ", \"collect_ms\": " << t.collect_ms << ", \"propose_ms\": " << t.propose_ms
+      << ", \"gate_ms\": " << t.gate_ms << ", \"adopt_ms\": " << t.adopt_ms << "}";
 }
 
 void write_json(const std::string& path, std::size_t threads,
                 const std::vector<CaseResult>& results) {
   std::ofstream out(path);
+  // Round-trip precision: CI compares optimized_value text across thread
+  // counts, so the printed digits must distinguish any bit difference.
+  out.precision(17);
   out << "{\n  \"threads\": " << threads << ",\n  \"simd\": \""
       << simd::level_name(simd::active_level()) << "\",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -723,8 +887,12 @@ void write_json(const std::string& path, std::size_t threads,
         << ", \"ms_baseline\": " << r.ms_baseline << ", \"ms_optimized\": " << r.ms_optimized
         << ", \"speedup\": " << r.speedup() << ", \"baseline_value\": " << r.baseline_value
         << ", \"optimized_value\": " << r.optimized_value
-        << ", \"match\": " << (r.match ? "true" : "false") << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+        << ", \"match\": " << (r.match ? "true" : "false");
+    if (r.has_stages) {
+      write_stage_trace(out, "stages_baseline", r.stages_baseline);
+      write_stage_trace(out, "stages_optimized", r.stages_optimized);
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }

@@ -71,4 +71,82 @@ std::size_t nearest_row(const double* data, std::size_t n, std::size_t dim,
 void distance_row(const double* data, std::size_t n, std::size_t dim, const double* query,
                   double* out, Level level);
 
+/// Widest point dimensionality the batched query-side kernels below keep in
+/// registers (one __m512d/__m256d per dimension, loaded once per block and
+/// reused across the whole centroid panel). Wider inputs fall back to the
+/// scalar path inside the kernels, which stays bit-identical.
+inline constexpr std::size_t kMaxBatchDim = 16;
+/// Below this many queries a batched call stays scalar: a block's gather
+/// setup needs a few lanes' worth of work to pay for itself.
+inline constexpr std::size_t kMinBatchQueries = 16;
+
+/// Batched nearest-two scan: the transpose of nearest_row. Where nearest_row
+/// runs one query against many rows (lane-per-row), this runs many query
+/// points against one small k×dim `centroids` panel, one *query* per lane —
+/// the k-means assignment shape, where k sits far below kMinSimdRows and
+/// row-blocked kernels have nothing to vectorize over.
+///
+/// For each j in [0, count), the query is row `indices[j]` of `points`
+/// (identity when indices is null, i.e. row j). Writes the strict-`<`
+/// first-winner centroid index to out_assign[j] and the best / second-best
+/// squared distances to out_best_sq[j] / out_second_sq[j] (infinity when
+/// k == 1). Per-lane arithmetic follows the exact per-dimension
+/// subtract/multiply/add sequence of PointSet::nearest2_of in ascending
+/// centroid order, so every output is bit-identical to the scalar scan at
+/// every level. Requires k >= 1.
+void nearest2_batch(const double* points, std::size_t dim, const std::size_t* indices,
+                    std::size_t count, const double* centroids, std::size_t k,
+                    std::size_t* out_assign, double* out_best_sq, double* out_second_sq,
+                    Level level);
+
+/// Batched assigned-centroid distances: out_dist_sq[j] is the squared
+/// distance from query j (row indices[j] of `points`, identity when null)
+/// to centroid row assign[j] — the Hamerly/Elkan skip-test distance,
+/// computed for a whole chunk at once. Same operation order as
+/// PointSet::distance_squared, so bit-identical at every level.
+void assigned_distance_batch(const double* points, std::size_t dim,
+                             const std::size_t* indices, std::size_t count,
+                             const double* centroids, const std::size_t* assign,
+                             double* out_dist_sq, Level level);
+
+/// Batched Hamerly/Elkan skip tests — the Phase-2 predicate loop of the
+/// bounded k-means objective pass, one query per lane. With
+/// guard(x) = x * guard_scale - guard_shift (the caller's conservative
+/// downward FP shave), each j in [0, count) evaluates
+///   moved = assign[j] == moved_most ? delta_second : delta_max
+///   lb    = guard(lower[j] - moved)      (decayed Hamerly bound)
+///   s     = s_half[assign[j]]            (Elkan half-separation)
+///   z     = lb >= s ? lb : s
+/// A lane with z > 0 and best_dist_sq[j] < guard(z*z) is *skipped*:
+/// lower[j] becomes lb when lb >= s, else
+/// max(lb, guard(2*s - sqrt(best_dist_sq[j]))). Every other lane appends
+/// base_index + j to `survivors` (ascending). Returns the survivor count.
+/// The vector form replays the scalar arithmetic op for op (vsqrtpd is
+/// correctly rounded, selects are blends on the same compares), so skip
+/// decisions, updated bounds, and survivor order are bit-identical at every
+/// level.
+std::size_t hamerly_skip_batch(std::size_t count, const std::size_t* assign,
+                               const double* best_dist_sq, double* lower,
+                               const double* s_half, double delta_max, double delta_second,
+                               std::size_t moved_most, double guard_scale,
+                               double guard_shift, std::size_t base_index,
+                               std::size_t* survivors, Level level);
+
+/// Weighted scatter-accumulation, dimension-lane vectorized: for each j in
+/// ascending order, with i = indices ? indices[j] : j and
+/// c = assign ? assign[i] : 0,
+///   sums[c*dim + d] += points[i*dim + d] * weights[i]   for d in [0, dim)
+///   cluster_weight[c] += weights[i]
+/// Lanes vectorize across d, never across j, so every (c, d) accumulator
+/// sees the same additions in the same order as the scalar loop — sums and
+/// cluster_weight are bit-identical at every level. This is the k-means
+/// update-step accumulation in both shapes: the sequential full-pass form
+/// (assign = the assignment array) and the per-cluster-segment form of the
+/// deterministic parallel update (assign == nullptr with sums /
+/// cluster_weight pointing at a single cluster's slots).
+void weighted_scatter_add(const double* points, std::size_t dim, const std::size_t* indices,
+                          std::size_t count, const double* weights,
+                          const std::size_t* assign, double* sums, double* cluster_weight,
+                          Level level);
+
 }  // namespace geored::simd

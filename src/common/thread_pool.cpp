@@ -21,6 +21,12 @@ std::unique_ptr<ThreadPool> g_global_pool GEORED_GUARDED_BY(g_global_pool_mutex)
 // can detect they are already inside parallel work and run inline.
 thread_local bool t_in_chunk = false;
 
+// parallel_reduce_sum always splits [0, n) into this many chunks so the
+// summation tree is a function of n alone — the thread-count-invariance
+// contract. 64 keeps per-chunk work ≥ 32 elements at the min_parallel
+// thresholds call sites use (2048) and caps usable reduce parallelism.
+constexpr std::size_t kReduceChunks = 64;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -168,18 +174,28 @@ double parallel_reduce_sum(std::size_t n,
                            std::size_t min_parallel) {
   GEORED_ENSURE(body, "parallel_reduce_sum requires a callable body");
   if (n == 0) return 0.0;
-  // See parallel_for: nested calls run inline, matching the sequential sum.
-  if (n < min_parallel || ThreadPool::in_parallel_chunk()) return body(0, n);
+  if (n < min_parallel) return body(0, n);
+  // Fixed chunk count: boundaries depend only on n, never on the pool size,
+  // and partials combine in ascending chunk order — so the summation tree
+  // (and the result's last bits) is identical at any thread count, nested
+  // or top-level. Threads only decide where each chunk runs.
+  double partials[kReduceChunks];
+  const auto chunk_sum = [&](std::size_t c) {
+    const std::size_t begin = c * n / kReduceChunks;
+    const std::size_t end = (c + 1) * n / kReduceChunks;
+    partials[c] = begin < end ? body(begin, end) : 0.0;
+  };
   ThreadPool& pool = ThreadPool::global();
-  const std::size_t chunks = pool.thread_count();
-  if (chunks == 1) return body(0, n);
-  std::vector<double> partials(chunks, 0.0);
-  pool.run_chunks(chunks, [&](std::size_t c) {
-    const std::size_t begin = c * n / chunks;
-    const std::size_t end = (c + 1) * n / chunks;
-    if (begin < end) partials[c] = body(begin, end);
-  });
-  // Ascending chunk order: the determinism contract of the reduction.
+  const std::size_t threads = std::min(pool.thread_count(), kReduceChunks);
+  if (threads == 1 || ThreadPool::in_parallel_chunk()) {
+    for (std::size_t c = 0; c < kReduceChunks; ++c) chunk_sum(c);
+  } else {
+    pool.run_chunks(threads, [&](std::size_t t) {
+      const std::size_t first = t * kReduceChunks / threads;
+      const std::size_t last = (t + 1) * kReduceChunks / threads;
+      for (std::size_t c = first; c < last; ++c) chunk_sum(c);
+    });
+  }
   double total = 0.0;
   for (const double partial : partials) total += partial;
   return total;

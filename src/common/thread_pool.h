@@ -2,13 +2,14 @@
 // primitives built on it.
 //
 // Design constraints (see docs/performance.md):
-//   * Determinism. parallel_for / parallel_reduce_sum split [0, n) into one
-//     contiguous chunk per pool thread. Chunk boundaries depend only on n and
-//     the thread count, each chunk is processed sequentially, and reduction
-//     partials are combined in ascending chunk order — so results are
-//     bit-reproducible run-to-run at a fixed thread count, and at one thread
-//     they are byte-identical to the plain sequential loop (a single chunk
-//     covering [0, n) in order).
+//   * Determinism. parallel_for splits [0, n) into one contiguous chunk per
+//     pool thread; chunk boundaries depend only on n and the thread count,
+//     and each chunk is processed sequentially, so side effects land
+//     bit-reproducibly run-to-run at a fixed thread count (at one thread,
+//     exactly the sequential loop). parallel_reduce_sum goes further: it
+//     always splits into a fixed chunk count, so the summation tree depends
+//     only on n and the result is bit-identical at ANY thread count —
+//     threads merely decide where each chunk runs.
 //   * No work stealing. Chunks are claimed from a shared counter under the
 //     pool mutex; which thread runs a chunk never affects where its result
 //     lands, so scheduling jitter cannot change output.
@@ -19,12 +20,13 @@
 //
 // Nested parallelism runs inline: when a chunk body itself calls
 // parallel_for / parallel_reduce_sum, the nested call executes sequentially
-// on the calling thread (exactly the single-chunk path), because the pool's
-// threads are already committed to the outer task. This keeps outer-level
-// parallelism (e.g. FleetManager running one group per task) deadlock-free
-// and bit-identical to the fully sequential execution: the inner work is a
-// single in-order chunk in both cases. Directly calling run_chunks from
-// inside a chunk remains an error.
+// on the calling thread, because the pool's threads are already committed
+// to the outer task. This keeps outer-level parallelism (e.g. FleetManager
+// running one group per task) deadlock-free and bit-identical to the fully
+// sequential execution: a nested parallel_for is a single in-order chunk,
+// and a nested parallel_reduce_sum walks the same fixed chunk grid in
+// ascending order. Directly calling run_chunks from inside a chunk remains
+// an error.
 #pragma once
 
 #include <cstddef>
@@ -113,11 +115,12 @@ class ThreadPool {
 void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t min_parallel = 1);
 
-/// Sums body(begin, end) partials over contiguous chunks covering [0, n),
-/// combining them in ascending chunk order. At one thread (or n <
-/// min_parallel) this is exactly `body(0, n)` — byte-identical to the
-/// sequential accumulation; at a fixed thread count > 1 the chunked
-/// summation is bit-reproducible run-to-run.
+/// Sums body(begin, end) partials over a FIXED grid of contiguous chunks
+/// covering [0, n), combining them in ascending chunk order. Chunk
+/// boundaries depend only on n, so the result is bit-identical at any
+/// thread count (and under nested/inline execution) — the determinism pin
+/// the perf-smoke CI asserts at bench scale. When n < min_parallel the call
+/// is exactly `body(0, n)`, byte-identical to the sequential accumulation.
 double parallel_reduce_sum(std::size_t n,
                            const std::function<double(std::size_t, std::size_t)>& body,
                            std::size_t min_parallel = 1);

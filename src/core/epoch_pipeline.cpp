@@ -4,8 +4,11 @@
 #include <limits>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/ensure.h"
+#include "common/point_set.h"
 #include "common/serialize.h"
+#include "common/thread_pool.h"
 #include "core/decentralized.h"
 #include "net/rpc_collector.h"
 
@@ -67,7 +70,10 @@ DecentralizedCollector::DecentralizedCollector(
 CollectedSummaries DecentralizedCollector::collect(const std::vector<SummarySource>& sources,
                                                    const CollectionContext& context) {
   GEORED_ENSURE(!sources.empty(), "decentralized collection needs at least one source");
-  std::map<topo::NodeId, std::vector<cluster::MicroCluster>> replica_summaries;
+  // Once-per-epoch summary regrouping (~max_clusters x replicas entries),
+  // not a per-access path.
+  std::map<topo::NodeId, std::vector<cluster::MicroCluster>>  // lint: alloc-ok
+      replica_summaries;
   for (const auto& source : sources) {
     auto& clusters = replica_summaries[source.node];
     clusters.insert(clusters.end(), source.clusters.begin(), source.clusters.end());
@@ -115,6 +121,17 @@ MigrationDecision PolicyGate::evaluate(double old_delay_ms, double new_delay_ms,
   return decide_migration(policy_, old_delay_ms, new_delay_ms, replicas_moved);
 }
 
+namespace {
+
+/// Below this many summaries the nearest-placement resolution stays
+/// sequential (pool dispatch would dominate; the direct-collection case is
+/// k*m summaries, far under this). Per-summary results are written
+/// independently, so the parallel pass is bitwise identical to the
+/// sequential one at any thread count.
+constexpr std::size_t kMinParallelSummaries = 2048;
+
+}  // namespace
+
 void NearestRedistributionAdopter::adopt(
     const place::Placement& next, const std::vector<cluster::MicroCluster>& summaries,
     const std::vector<place::CandidateInfo>& candidates,
@@ -124,6 +141,59 @@ void NearestRedistributionAdopter::adopt(
   // Rebuild the per-replica summarizers, handing each existing micro-cluster
   // to the new replica closest to its centroid so usage knowledge survives
   // the move.
+  std::map<topo::NodeId, cluster::MicroClusterSummarizer> fresh;
+  for (const auto node : next) {
+    fresh.emplace(node, cluster::MicroClusterSummarizer(summarizer_config));
+  }
+  summarizers = std::move(fresh);
+  const std::size_t n = summaries.size();
+  if (n == 0) return;
+  // Resolve each placement node's coordinates once — the historical loop
+  // re-ran a linear candidate scan per (summary x node) pair — and stage
+  // them as a PointSet so each centroid resolves via one nearest_of scan
+  // (SIMD-backed above kMinSimdRows). nearest_of walks the rows in `next`
+  // order with the same strict-`<` first-winner compare and the same
+  // per-dimension subtract/square sequence as the historical scan (the
+  // operands are swapped, but an IEEE negation squares to the same bits),
+  // so the chosen replica is identical.
+  PointSet placement_coords(find_candidate(candidates, next.front()).coords.dim());
+  placement_coords.reserve(next.size());
+  for (const auto node : next) {
+    placement_coords.push_back(find_candidate(candidates, node).coords);
+  }
+  ArenaScope scope;
+  std::size_t* nearest = scope.span<std::size_t>(n);
+  parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (summaries[i].count() == 0) continue;
+          const Point centroid = summaries[i].centroid();
+          nearest[i] = placement_coords.nearest_of(centroid);
+        }
+      },
+      kMinParallelSummaries);
+  // Merges stay sequential in summary order: each summarizer's absorb/merge
+  // history is order-sensitive, and this is the exact order the historical
+  // loop produced.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (summaries[i].count() == 0) continue;
+    summarizers.at(next[nearest[i]]).merge_cluster(summaries[i]);
+  }
+}
+
+void NearestRedistributionAdopter::retain(
+    std::map<topo::NodeId, cluster::MicroClusterSummarizer>& summarizers) {
+  // Age the retained summaries so stale populations fade (recency).
+  for (auto& [node, summarizer] : summarizers) summarizer.decay();
+}
+
+void ScalarNearestRedistributionAdopter::adopt(
+    const place::Placement& next, const std::vector<cluster::MicroCluster>& summaries,
+    const std::vector<place::CandidateInfo>& candidates,
+    const cluster::SummarizerConfig& summarizer_config,
+    std::map<topo::NodeId, cluster::MicroClusterSummarizer>& summarizers) {
+  GEORED_ENSURE(!next.empty(), "cannot adopt an empty placement");
   std::map<topo::NodeId, cluster::MicroClusterSummarizer> fresh;
   for (const auto node : next) {
     fresh.emplace(node, cluster::MicroClusterSummarizer(summarizer_config));
@@ -145,15 +215,14 @@ void NearestRedistributionAdopter::adopt(
   }
 }
 
-void NearestRedistributionAdopter::retain(
+void ScalarNearestRedistributionAdopter::retain(
     std::map<topo::NodeId, cluster::MicroClusterSummarizer>& summarizers) {
-  // Age the retained summaries so stale populations fade (recency).
   for (auto& [node, summarizer] : summarizers) summarizer.decay();
 }
 
 std::unique_ptr<SummaryCollector> make_collector(const std::string& name,
                                                  const CollectorConfig& config) {
-  const std::vector<std::string> names = collector_names();
+  const std::vector<std::string> names = collector_names();  // lint: alloc-ok (registry)
   GEORED_ENSURE(std::find(names.begin(), names.end(), name) != names.end(),
                 "unknown collector '" + name +
                     "'; known: direct, hierarchical, decentralized, rpc");
@@ -171,7 +240,7 @@ std::unique_ptr<SummaryCollector> make_collector(const std::string& name,
                                                   config.decision_strategy);
 }
 
-std::vector<std::string> collector_names() {
+std::vector<std::string> collector_names() {  // lint: alloc-ok (registry)
   return {"direct", "hierarchical", "decentralized", "rpc"};
 }
 

@@ -226,8 +226,25 @@ class Adopter {
 };
 
 /// The historical behavior: each micro-cluster goes to the new replica
-/// nearest its centroid; retained summaries decay exponentially.
+/// nearest its centroid; retained summaries decay exponentially. The
+/// nearest-replica resolution is kernelized — placement coordinates staged
+/// once as a PointSet, per-summary nearest_of scans parallelized over the
+/// pool with arena scratch — and byte-identical to the frozen scalar
+/// reference below (pinned by EpochPipelineTest.AdopterMatchesScalar).
 class NearestRedistributionAdopter final : public Adopter {
+ public:
+  void adopt(const place::Placement& next, const std::vector<cluster::MicroCluster>& summaries,
+             const std::vector<place::CandidateInfo>& candidates,
+             const cluster::SummarizerConfig& summarizer_config,
+             std::map<topo::NodeId, cluster::MicroClusterSummarizer>& summarizers) override;
+  void retain(std::map<topo::NodeId, cluster::MicroClusterSummarizer>& summarizers) override;
+};
+
+/// Frozen scalar reference for NearestRedistributionAdopter: the historical
+/// per-summary linear scans (O(summaries x k x candidates)), kept verbatim
+/// as the equivalence baseline and the re-armed epoch_end_to_end bench arm.
+/// Never optimize this class.
+class ScalarNearestRedistributionAdopter final : public Adopter {
  public:
   void adopt(const place::Placement& next, const std::vector<cluster::MicroCluster>& summaries,
              const std::vector<place::CandidateInfo>& candidates,

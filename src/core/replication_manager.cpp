@@ -123,12 +123,15 @@ void ReplicationManager::record_access_batch(topo::NodeId replica, const PointSe
                   "access weight must be finite and non-negative");
   }
   const std::size_t n = client_coords.size();
+  if (n == 0) return;
   IngestShard& shard = shard_of(replica);
   const MutexLock lock(shard.mutex);
   PendingBatch& batch = shard.pending[replica];
-  for (std::size_t i = 0; i < n; ++i) {
-    batch.coords.push_back_row(client_coords.row(i), client_coords.dim());
-    batch.weights.push_back(data_weights.empty() ? 1.0 : data_weights[i]);
+  batch.coords.append_rows(client_coords.row(0), n, client_coords.dim());
+  if (data_weights.empty()) {
+    batch.weights.insert(batch.weights.end(), n, 1.0);
+  } else {
+    batch.weights.insert(batch.weights.end(), data_weights.begin(), data_weights.end());
   }
   shard.accesses += n;
   if (batch.coords.size() >= config_.ingest_batch_grain) {
@@ -379,8 +382,11 @@ void ReplicationManager::restore(ByteReader& reader) {
 }
 
 EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded) {
-  flush_ingest();
   EpochReport report;
+  {
+    const StageTimer timer(report.stages.ingest_flush_ms);
+    flush_ingest();
+  }
   report.old_placement = placement_;
   report.epoch_accesses = epoch_accesses();
 
@@ -419,8 +425,10 @@ EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded
     sources.push_back({node, summarizer.clusters()});
   }
   const std::uint64_t epoch_seed = seed_ ^ (0x9e3779b97f4a7c15ULL + epoch_index_);
-  CollectedSummaries collected =
-      pipeline_.collector->collect(sources, {usable, degree_, epoch_seed});
+  CollectedSummaries collected = [&] {
+    const StageTimer timer(report.stages.collect_ms);
+    return pipeline_.collector->collect(sources, {usable, degree_, epoch_seed});
+  }();
   report.summary_bytes = collected.summary_bytes;
   report.stale_sources = collected.stale_sources.size();
   report.lost_sources = collected.lost_sources.size() + excluded_sources;
@@ -431,6 +439,7 @@ EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded
   if (collected.agreed_proposal.has_value()) {
     report.proposed_placement = std::move(*collected.agreed_proposal);
   } else {
+    const StageTimer timer(report.stages.propose_ms);
     place::PlacementInput input;
     input.candidates = usable;
     input.k = degree_;
@@ -440,16 +449,19 @@ EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded
   }
 
   // 4. Migration gate.
-  report.old_estimated_delay_ms = estimate_average_delay(placement_, collected.summaries);
-  report.new_estimated_delay_ms =
-      estimate_average_delay(report.proposed_placement, collected.summaries);
-  std::size_t moved = 0;
-  for (const auto node : report.proposed_placement) {
-    if (std::find(placement_.begin(), placement_.end(), node) == placement_.end()) ++moved;
+  {
+    const StageTimer timer(report.stages.gate_ms);
+    report.old_estimated_delay_ms = estimate_average_delay(placement_, collected.summaries);
+    report.new_estimated_delay_ms =
+        estimate_average_delay(report.proposed_placement, collected.summaries);
+    std::size_t moved = 0;
+    for (const auto node : report.proposed_placement) {
+      if (std::find(placement_.begin(), placement_.end(), node) == placement_.end()) ++moved;
+    }
+    report.replicas_moved = moved;
+    report.decision = pipeline_.gate->evaluate(report.old_estimated_delay_ms,
+                                               report.new_estimated_delay_ms, moved);
   }
-  report.replicas_moved = moved;
-  report.decision = pipeline_.gate->evaluate(report.old_estimated_delay_ms,
-                                             report.new_estimated_delay_ms, moved);
 
   // 5. Adopt or retain. A degree change must be applied even if the gate
   // rejects the proposal's quality gain; in that case adopt the proposal
@@ -457,12 +469,15 @@ EpochReport ReplicationManager::run_epoch(const std::set<topo::NodeId>& excluded
   // paper's discussion). Likewise when a current replica sits on an
   // excluded (failed) data center: availability overrides the cost gate.
   const bool degree_changed = report.proposed_placement.size() != placement_.size();
-  if (report.decision.migrate || degree_changed || current_placement_impaired) {
-    placement_ = report.proposed_placement;
-    pipeline_.adopter->adopt(placement_, collected.summaries, candidates_, config_.summarizer,
-                             summarizers_);
-  } else {
-    pipeline_.adopter->retain(summarizers_);
+  {
+    const StageTimer timer(report.stages.adopt_ms);
+    if (report.decision.migrate || degree_changed || current_placement_impaired) {
+      placement_ = report.proposed_placement;
+      pipeline_.adopter->adopt(placement_, collected.summaries, candidates_,
+                               config_.summarizer, summarizers_);
+    } else {
+      pipeline_.adopter->retain(summarizers_);
+    }
   }
   report.adopted_placement = placement_;
 

@@ -44,6 +44,7 @@
 #include "common/serialize.h"
 #include "common/sync.h"
 #include "core/epoch_pipeline.h"
+#include "core/epoch_trace.h"
 #include "core/migration.h"
 #include "placement/online_clustering.h"
 #include "placement/types.h"
@@ -123,6 +124,9 @@ struct EpochReport {
   std::size_t degree = 0;              ///< k in force after the epoch
   std::size_t stale_sources = 0;       ///< sources served from a collector cache
   std::size_t lost_sources = 0;        ///< sources that contributed nothing
+  /// Per-stage wall time of this epoch (observational only; see
+  /// core/epoch_trace.h — no retained value or decision depends on it).
+  EpochStageTrace stages;
 };
 
 /// The canonical stage composition for a ManagerConfig: direct in-process

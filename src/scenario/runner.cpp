@@ -431,6 +431,11 @@ class Engine {
       const auto weight = static_cast<double>(report.epoch_accesses);
       objective_weighted += adopted_delay * weight;
       objective_accesses += weight;
+      row.stage_totals.ingest_flush_ms += report.stages.ingest_flush_ms;
+      row.stage_totals.collect_ms += report.stages.collect_ms;
+      row.stage_totals.propose_ms += report.stages.propose_ms;
+      row.stage_totals.gate_ms += report.stages.gate_ms;
+      row.stage_totals.adopt_ms += report.stages.adopt_ms;
     }
     row.objective_ms =
         objective_accesses > 0.0 ? objective_weighted / objective_accesses : 0.0;
@@ -492,6 +497,22 @@ std::string ScenarioResult::jsonl() const {
   for (const auto& line : jsonl_lines) {
     out += line;
     out += '\n';
+  }
+  return out;
+}
+
+std::string ScenarioResult::timings_jsonl() const {
+  std::string out;
+  for (const auto& row : epochs) {
+    out += "{\"epoch\":" + std::to_string(row.epoch);
+    out += ",\"t_ms\":" + format_double(row.t_ms);
+    out += ",\"ingest_flush_ms\":" + format_double(row.stage_totals.ingest_flush_ms);
+    out += ",\"collect_ms\":" + format_double(row.stage_totals.collect_ms);
+    out += ",\"propose_ms\":" + format_double(row.stage_totals.propose_ms);
+    out += ",\"gate_ms\":" + format_double(row.stage_totals.gate_ms);
+    out += ",\"adopt_ms\":" + format_double(row.stage_totals.adopt_ms);
+    out += ",\"total_ms\":" + format_double(row.stage_totals.total_ms());
+    out += "}\n";
   }
   return out;
 }

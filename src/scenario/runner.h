@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/epoch_trace.h"
 #include "scenario/config.h"
 
 namespace geored::scenario {
@@ -43,6 +44,10 @@ struct EpochRow {
   /// region order, regions with traffic only).
   std::vector<std::pair<std::string, double>> region_delay_ms;
   std::vector<std::pair<std::string, std::uint64_t>> region_accesses;
+  /// Wall time per pipeline stage, summed over the fleet's group epochs.
+  /// Observational (varies run to run); rendered only by the optional
+  /// timings sidecar, never by the deterministic jsonl()/table() outputs.
+  core::EpochStageTrace stage_totals;
 };
 
 struct ScenarioResult {
@@ -54,6 +59,13 @@ struct ScenarioResult {
 
   /// The aggregated sweep table (fixed-width text, one row per epoch).
   std::string table() const;
+
+  /// Per-epoch stage-timing sidecar (one json object per line, trailing
+  /// newline included): wall milliseconds each epoch spent in ingest-flush /
+  /// collect / propose / gate / adopt across the fleet. Deliberately a
+  /// separate stream from jsonl(): timings vary run to run, and the golden
+  /// transcripts pin jsonl() byte for byte.
+  std::string timings_jsonl() const;
 };
 
 /// Runs the scenario to completion. Throws ScenarioError (kBadReference)

@@ -135,6 +135,117 @@ TEST(KMeansEquivalence, SinglePointMatchesScalar) {
   EXPECT_EQ(fast.objective, 0.0);
 }
 
+TEST(KMeansEquivalence, CoincidentWarmStartCentroidsMatchScalar) {
+  // Every warm-start centroid at the same position: the Elkan
+  // half-separations are all (guarded) zero and must never justify a skip
+  // on their own, and the strict-< first-winner rule must keep every point
+  // on centroid 0 until the update separates them.
+  Rng setup(31);
+  const auto points = random_points(setup, 60, 3, 0.0);
+  std::vector<Point> initial(4, Point{1.0, 2.0, 3.0});
+  KMeansConfig config;
+  config.k = 4;
+  expect_identical(weighted_kmeans_from(points, initial, config),
+                   weighted_kmeans_from_scalar(points, initial, config),
+                   "coincident centroids");
+}
+
+TEST(KMeansEquivalence, DuplicateWarmStartCentroidPairsMatchScalar) {
+  // Two exact duplicates among distinct centroids: one of each pair owns an
+  // empty cluster forever (ties resolve to the lower index) and must keep
+  // its position bit-for-bit across iterations in both solvers.
+  Rng setup(33);
+  const auto points = random_points(setup, 80, 2, 0.1);
+  std::vector<Point> initial = {Point{10.0, 10.0}, Point{10.0, 10.0}, Point{-40.0, 5.0},
+                                Point{-40.0, 5.0}, Point{200.0, -200.0}};
+  KMeansConfig config;
+  config.k = 5;
+  expect_identical(weighted_kmeans_from(points, initial, config),
+                   weighted_kmeans_from_scalar(points, initial, config),
+                   "duplicate centroid pairs");
+}
+
+TEST(KMeansEquivalence, EquidistantTiePointsMatchScalar) {
+  // Points exactly on the perpendicular bisector of two centroids: the
+  // distances compute to identical bits, so the strict-< scan keeps the
+  // lower-index centroid. The bounded pass must reproduce that tie-break
+  // (its skip test only fires on *strict* closeness).
+  std::vector<WeightedPoint> points;
+  for (int y = -8; y <= 8; ++y) points.push_back({Point{0.0, static_cast<double>(y)}, 1.0});
+  // Off-axis mass keeps both clusters alive so the centroids stay symmetric.
+  points.push_back({Point{-6.0, 0.0}, 3.0});
+  points.push_back({Point{6.0, 0.0}, 3.0});
+  std::vector<Point> initial = {Point{-1.0, 0.0}, Point{1.0, 0.0}};
+  KMeansConfig config;
+  config.k = 2;
+  const auto fast = weighted_kmeans_from(points, initial, config);
+  const auto scalar = weighted_kmeans_from_scalar(points, initial, config);
+  expect_identical(fast, scalar, "equidistant ties");
+  for (std::size_t i = 0; i + 2 < points.size(); ++i) {
+    EXPECT_EQ(fast.assignment[i], 0u) << "bisector point " << i
+                                      << " must tie-break to the lower index";
+  }
+}
+
+TEST(KMeansEquivalence, FarWarmStartLeavesEmptyClusterMatchingScalar) {
+  // A warm-start centroid far from every point never wins an assignment:
+  // its cluster weight stays zero and both solvers must keep its original
+  // coordinates bit-for-bit in the result.
+  Rng setup(35);
+  const auto points = random_points(setup, 50, 2, 0.0);
+  std::vector<Point> initial = {Point{0.0, 0.0}, Point{1e6, 1e6}};
+  KMeansConfig config;
+  config.k = 2;
+  const auto fast = weighted_kmeans_from(points, initial, config);
+  const auto scalar = weighted_kmeans_from_scalar(points, initial, config);
+  expect_identical(fast, scalar, "empty cluster");
+  ASSERT_EQ(fast.centroids.size(), 2u);
+  EXPECT_EQ(fast.centroids[1][0], 1e6);
+  EXPECT_EQ(fast.centroids[1][1], 1e6);
+}
+
+TEST(KMeansEquivalence, LargeClusteredPopulationMatchesScalar) {
+  // Above kMinParallelPoints and kMinBatchQueries with a clustered
+  // population: exercises the batched SIMD assignment kernels, the
+  // Elkan/Hamerly skip paths, and (when GEORED_THREADS > 1) the
+  // deterministic counting-sort update accumulation — all of which must
+  // leave every output bit-identical to the sequential scalar reference.
+  Rng setup(37);
+  std::vector<WeightedPoint> points;
+  std::vector<Point> sites;
+  for (int s = 0; s < 12; ++s) {
+    sites.push_back(Point{setup.uniform(-300.0, 300.0), setup.uniform(-300.0, 300.0),
+                          setup.uniform(-300.0, 300.0)});
+  }
+  for (std::size_t i = 0; i < 6000; ++i) {
+    Point p = sites[setup.below(sites.size())];
+    for (std::size_t d = 0; d < 3; ++d) p[d] += setup.normal(0.0, 8.0);
+    points.push_back({p, 1.0 + static_cast<double>(setup.below(50))});
+  }
+  KMeansConfig config;
+  config.k = 8;
+  config.max_iterations = 50;
+  config.tolerance = 1e-9;
+  Rng a(41), b(41);
+  const auto fast = weighted_kmeans(points, config, a);
+  const auto scalar = weighted_kmeans_scalar(points, config, b);
+  expect_identical(fast, scalar, "large clustered");
+  EXPECT_EQ(a(), b()) << "solvers must consume the Rng identically";
+
+  // Warm-start entry over the same population (the macro-clustering epoch
+  // path): perturbed site centers, the near-converged regime where the
+  // bounds actually skip scans.
+  std::vector<Point> initial;
+  for (std::size_t c = 0; c < config.k; ++c) {
+    Point p = sites[c];
+    for (std::size_t d = 0; d < 3; ++d) p[d] += setup.normal(0.0, 2.0);
+    initial.push_back(p);
+  }
+  expect_identical(weighted_kmeans_from(points, initial, config),
+                   weighted_kmeans_from_scalar(points, initial, config),
+                   "large clustered warm start");
+}
+
 TEST(KMeansEquivalence, ZeroWeightPointsAmongPositiveMatchScalar) {
   // Zero-weight pseudo-points (fully decayed micro-clusters) still get
   // assignments but must not move centroids; both solvers agree bitwise.

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -231,6 +232,307 @@ TEST(PointSetSimd, PointSetDispatchAgreesWithExplicitLevels) {
   set.distance_row(query, got_row.data());
   for (std::size_t i = 0; i < n; ++i) {
     ASSERT_EQ(bits_of(got_row[i]), bits_of(want_row[i])) << "row " << i;
+  }
+}
+
+/// Independent scalar reference for the batched nearest-two kernel:
+/// PointSet::nearest2_of restated (branchless strict-`<` selects in
+/// ascending centroid order) so the pin cannot inherit a kernel bug.
+void reference_nearest2(const double* q, const double* centroids, std::size_t k,
+                        std::size_t dim, std::size_t* out_assign, double* out_best,
+                        double* out_second) {
+  std::size_t best = 0;
+  double best_dist = kInf, second_dist = kInf;
+  for (std::size_t c = 0; c < k; ++c) {
+    double dist = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff = centroids[c * dim + d] - q[d];
+      dist += diff * diff;
+    }
+    const bool better = dist < best_dist;
+    const bool runner_up = dist < second_dist;
+    second_dist = better ? best_dist : (runner_up ? dist : second_dist);
+    best_dist = better ? dist : best_dist;
+    best = better ? c : best;
+  }
+  *out_assign = best;
+  *out_best = best_dist;
+  *out_second = second_dist;
+}
+
+void expect_batch_kernels_match(const std::vector<double>& points, std::size_t dim,
+                                const std::size_t* indices, std::size_t count,
+                                const std::vector<double>& centroids, std::size_t k,
+                                const char* label) {
+  std::vector<std::size_t> want_assign(count);
+  std::vector<double> want_best(count), want_second(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    const double* q = points.data() + (indices != nullptr ? indices[j] : j) * dim;
+    reference_nearest2(q, centroids.data(), k, dim, &want_assign[j], &want_best[j],
+                       &want_second[j]);
+  }
+  for (const simd::Level level : available_levels()) {
+    std::vector<std::size_t> got_assign(count, ~std::size_t{0});
+    std::vector<double> got_best(count, -1.0), got_second(count, -1.0);
+    simd::nearest2_batch(points.data(), dim, indices, count, centroids.data(), k,
+                         got_assign.data(), got_best.data(), got_second.data(), level);
+    for (std::size_t j = 0; j < count; ++j) {
+      ASSERT_EQ(got_assign[j], want_assign[j])
+          << label << ": assignment diverged at level " << simd::level_name(level)
+          << " (j=" << j << ", count=" << count << ", dim=" << dim << ", k=" << k << ")";
+      ASSERT_EQ(bits_of(got_best[j]), bits_of(want_best[j]))
+          << label << ": best distance not bit-identical at level "
+          << simd::level_name(level) << " (j=" << j << ")";
+      ASSERT_EQ(bits_of(got_second[j]), bits_of(want_second[j]))
+          << label << ": second distance not bit-identical at level "
+          << simd::level_name(level) << " (j=" << j << ")";
+    }
+    // assigned_distance_batch against the just-computed assignment must
+    // reproduce each point's best distance bits (same subtract/multiply/add
+    // sequence against the same centroid row).
+    std::vector<double> got_own(count, -1.0);
+    simd::assigned_distance_batch(points.data(), dim, indices, count, centroids.data(),
+                                  want_assign.data(), got_own.data(), level);
+    for (std::size_t j = 0; j < count; ++j) {
+      ASSERT_EQ(bits_of(got_own[j]), bits_of(want_best[j]))
+          << label << ": assigned distance not bit-identical at level "
+          << simd::level_name(level) << " (j=" << j << ")";
+    }
+  }
+}
+
+TEST(PointSetSimdBatch, MatchesScalarAcrossSizesAndDims) {
+  // Counts straddle the 4-query register block and the kMinBatchQueries
+  // dispatch floor; dims cover the scalar remainder columns of the 4x4
+  // transpose (1..3), a full block (4), mixed (5, 7), and the wide-dim
+  // scalar fallback (kMaxBatchDim + 1).
+  const std::size_t counts[] = {1, 3, 4, 5, 15, 16, 17, 19, 20, 64, 65, 300};
+  const std::size_t dims[] = {1, 2, 3, 4, 5, 7, simd::kMaxBatchDim + 1};
+  const std::size_t ks[] = {1, 2, 5, 12};
+  for (const std::size_t dim : dims) {
+    Rng rng(0xba7c + dim);
+    for (const std::size_t k : ks) {
+      std::vector<double> centroids(k * dim);
+      for (double& v : centroids) v = rng.uniform(-100.0, 100.0);
+      for (const std::size_t count : counts) {
+        std::vector<double> points(count * dim);
+        for (double& v : points) v = rng.uniform(-100.0, 100.0);
+        expect_batch_kernels_match(points, dim, nullptr, count, centroids, k, "contiguous");
+      }
+    }
+  }
+}
+
+TEST(PointSetSimdBatch, IndexedSubsetMatchesContiguous) {
+  // The survivor-rescan form: a strided, unsorted index subset of a larger
+  // point block must produce, per query, exactly the bits of the contiguous
+  // scan of that row.
+  constexpr std::size_t kDim = 5;
+  constexpr std::size_t kK = 9;
+  constexpr std::size_t kN = 200;
+  Rng rng(0x1d3);
+  std::vector<double> points(kN * kDim), centroids(kK * kDim);
+  for (double& v : points) v = rng.uniform(-50.0, 50.0);
+  for (double& v : centroids) v = rng.uniform(-50.0, 50.0);
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < kN; i += 3) indices.push_back(i);
+  for (std::size_t i = 1; i < kN; i += 7) indices.push_back(i);  // unsorted, duplicates ok
+  expect_batch_kernels_match(points, kDim, indices.data(), indices.size(), centroids, kK,
+                             "indexed");
+}
+
+TEST(PointSetSimdBatch, TiesAndCoincidentCentroidsMatchScalar) {
+  // Duplicate centroids and queries equidistant to distinct centroids: the
+  // strict-`<` first-winner rule must hold per lane at every level.
+  constexpr std::size_t kDim = 2;
+  std::vector<double> centroids = {1.0, 0.0, 1.0, 0.0, -1.0, 0.0, 3.0, 0.0};
+  std::vector<double> points;
+  for (int i = 0; i < 37; ++i) {
+    points.push_back(0.0);                          // x = 0: ties centroids 0/1 vs 2
+    points.push_back(static_cast<double>(i) - 18);  // varying y
+  }
+  expect_batch_kernels_match(points, kDim, nullptr, 37, centroids, 4, "ties");
+}
+
+/// Independent scalar restatement of the hamerly_skip_batch predicate (the
+/// Phase-2 loop of cluster/kmeans.cpp's bounded objective pass) so the pin
+/// cannot inherit a kernel bug. Mutates `lower` and fills `survivors`
+/// exactly as the kernel contract specifies.
+std::size_t reference_hamerly_skip(std::size_t count, const std::size_t* assign,
+                                   const double* best_dist_sq, double* lower,
+                                   const double* s_half, double delta_max,
+                                   double delta_second, std::size_t moved_most,
+                                   double guard_scale, double guard_shift,
+                                   std::size_t base_index, std::size_t* survivors) {
+  std::size_t pending = 0;
+  for (std::size_t j = 0; j < count; ++j) {
+    const double moved = assign[j] == moved_most ? delta_second : delta_max;
+    const double lb = (lower[j] - moved) * guard_scale - guard_shift;
+    const double s = s_half[assign[j]];
+    const double z = lb >= s ? lb : s;
+    if (z > 0.0 && best_dist_sq[j] < z * z * guard_scale - guard_shift) {
+      const double elkan = (2.0 * s - std::sqrt(best_dist_sq[j])) * guard_scale - guard_shift;
+      lower[j] = lb >= s ? lb : std::max(lb, elkan);
+      continue;
+    }
+    survivors[pending++] = base_index + j;
+  }
+  return pending;
+}
+
+TEST(PointSetSimdBatch, HamerlySkipMatchesScalarPredicate) {
+  // The production guard constants, a centroid table small enough to force
+  // the scalar-load gather replacement, and bound distributions tuned so
+  // every batch mixes skipped and surviving lanes (including z <= 0 lanes
+  // from negative decayed bounds, and lb == s ties where the >= select must
+  // pick lb). Counts straddle the 4-lane block and the dispatch floor.
+  constexpr double kScale = 1.0 - 1e-10;
+  constexpr double kShift = 1e-12;
+  constexpr std::size_t kK = 7;
+  const std::size_t counts[] = {1, 3, 4, 5, 15, 16, 17, 19, 64, 65, 300};
+  for (const std::size_t count : counts) {
+    Rng rng(0x5c1b + count);
+    std::vector<double> s_half(kK);
+    for (double& v : s_half) v = rng.uniform(0.0, 5.0);
+    s_half[3] = -1e-13;  // coincident-centroid shape: tiny negative radius
+    std::vector<std::size_t> assign(count);
+    std::vector<double> best(count), lower(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      assign[j] = rng.below(kK);
+      const double d = rng.uniform(0.0, 6.0);
+      best[j] = d * d;
+      lower[j] = rng.uniform(-1.0, 7.0);
+      if (rng.bernoulli(0.1)) lower[j] = s_half[assign[j]];  // exact lb-vs-s tie shape
+    }
+    const double delta_max = 0.8, delta_second = 0.3;
+    const std::size_t moved_most = 2;
+    const std::size_t base_index = 1000;
+
+    std::vector<double> want_lower = lower;
+    std::vector<std::size_t> want_survivors(count, ~std::size_t{0});
+    const std::size_t want_pending = reference_hamerly_skip(
+        count, assign.data(), best.data(), want_lower.data(), s_half.data(), delta_max,
+        delta_second, moved_most, kScale, kShift, base_index, want_survivors.data());
+    ASSERT_GT(want_pending, 0u) << "distribution no longer exercises survivors";
+    if (count >= 16) {
+      ASSERT_LT(want_pending, count) << "distribution no longer exercises skips";
+    }
+    for (const simd::Level level : available_levels()) {
+      std::vector<double> got_lower = lower;
+      std::vector<std::size_t> got_survivors(count, ~std::size_t{0});
+      const std::size_t got_pending = simd::hamerly_skip_batch(
+          count, assign.data(), best.data(), got_lower.data(), s_half.data(), delta_max,
+          delta_second, moved_most, kScale, kShift, base_index, got_survivors.data(), level);
+      ASSERT_EQ(got_pending, want_pending)
+          << "survivor count diverged at level " << simd::level_name(level)
+          << " (count=" << count << ")";
+      for (std::size_t j = 0; j < want_pending; ++j) {
+        ASSERT_EQ(got_survivors[j], want_survivors[j])
+            << "survivor order diverged at level " << simd::level_name(level)
+            << " (j=" << j << ")";
+      }
+      for (std::size_t j = 0; j < count; ++j) {
+        ASSERT_EQ(bits_of(got_lower[j]), bits_of(want_lower[j]))
+            << "updated lower bound not bit-identical at level " << simd::level_name(level)
+            << " (j=" << j << ", count=" << count << ")";
+      }
+    }
+  }
+}
+
+/// Independent scalar restatement of weighted_scatter_add.
+void reference_scatter_add(const double* points, std::size_t dim, const std::size_t* indices,
+                           std::size_t count, const double* weights,
+                           const std::size_t* assign, double* sums, double* cluster_weight) {
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::size_t i = indices != nullptr ? indices[j] : j;
+    const std::size_t c = assign != nullptr ? assign[i] : 0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      sums[c * dim + d] += points[i * dim + d] * weights[i];
+    }
+    cluster_weight[c] += weights[i];
+  }
+}
+
+TEST(PointSetSimdBatch, WeightedScatterAddMatchesScalarBits) {
+  // Both call shapes of the k-means update accumulation: the full-pass form
+  // (identity indices + an assignment array) and the per-cluster-segment
+  // form (explicit indices with duplicates, accumulators pinned to one
+  // cluster). Dims cover the scalar-only fallback (< 4), a full 4-lane
+  // block, and mixed block + remainder; counts straddle the dispatch floor.
+  const std::size_t dims[] = {1, 3, 4, 5, 8, 9};
+  const std::size_t counts[] = {1, 4, 15, 16, 17, 300};
+  constexpr std::size_t kK = 6;
+  for (const std::size_t dim : dims) {
+    Rng rng(0x5ca7 + dim);
+    for (const std::size_t count : counts) {
+      std::vector<double> points(count * dim), weights(count);
+      std::vector<std::size_t> assign(count);
+      for (double& v : points) v = rng.uniform(-100.0, 100.0);
+      for (double& v : weights) v = rng.uniform(0.1, 10.0);
+      for (auto& a : assign) a = rng.below(kK);
+
+      std::vector<double> want_sums(kK * dim, 0.0), want_cw(kK, 0.0);
+      reference_scatter_add(points.data(), dim, nullptr, count, weights.data(),
+                            assign.data(), want_sums.data(), want_cw.data());
+      for (const simd::Level level : available_levels()) {
+        std::vector<double> got_sums(kK * dim, 0.0), got_cw(kK, 0.0);
+        simd::weighted_scatter_add(points.data(), dim, nullptr, count, weights.data(),
+                                   assign.data(), got_sums.data(), got_cw.data(), level);
+        for (std::size_t c = 0; c < kK; ++c) {
+          ASSERT_EQ(bits_of(got_cw[c]), bits_of(want_cw[c]))
+              << "cluster weight not bit-identical at level " << simd::level_name(level)
+              << " (c=" << c << ", dim=" << dim << ", count=" << count << ")";
+          for (std::size_t d = 0; d < dim; ++d) {
+            ASSERT_EQ(bits_of(got_sums[c * dim + d]), bits_of(want_sums[c * dim + d]))
+                << "sum not bit-identical at level " << simd::level_name(level)
+                << " (c=" << c << ", d=" << d << ", dim=" << dim << ", count=" << count
+                << ")";
+          }
+        }
+      }
+
+      // Segment form: an unsorted index list with duplicates, one cluster.
+      std::vector<std::size_t> indices;
+      for (std::size_t i = 0; i < count; i += 2) indices.push_back(i);
+      for (std::size_t i = 1; i < count; i += 5) indices.push_back(i);
+      std::vector<double> want_seg(dim, 0.0);
+      double want_seg_w = 0.0;
+      reference_scatter_add(points.data(), dim, indices.data(), indices.size(),
+                            weights.data(), nullptr, want_seg.data(), &want_seg_w);
+      for (const simd::Level level : available_levels()) {
+        std::vector<double> got_seg(dim, 0.0);
+        double got_seg_w = 0.0;
+        simd::weighted_scatter_add(points.data(), dim, indices.data(), indices.size(),
+                                   weights.data(), nullptr, got_seg.data(), &got_seg_w,
+                                   level);
+        ASSERT_EQ(bits_of(got_seg_w), bits_of(want_seg_w))
+            << "segment weight not bit-identical at level " << simd::level_name(level);
+        for (std::size_t d = 0; d < dim; ++d) {
+          ASSERT_EQ(bits_of(got_seg[d]), bits_of(want_seg[d]))
+              << "segment sum not bit-identical at level " << simd::level_name(level)
+              << " (d=" << d << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(PointSetSimdBatch, SingleCentroidSecondStaysInfinite) {
+  constexpr std::size_t kDim = 3;
+  std::vector<double> centroids = {1.0, 2.0, 3.0};
+  Rng rng(0xeef);
+  std::vector<double> points(40 * kDim);
+  for (double& v : points) v = rng.uniform(-5.0, 5.0);
+  for (const simd::Level level : available_levels()) {
+    std::vector<std::size_t> assign(40, 99);
+    std::vector<double> best(40), second(40, -1.0);
+    simd::nearest2_batch(points.data(), kDim, nullptr, 40, centroids.data(), 1,
+                         assign.data(), best.data(), second.data(), level);
+    for (std::size_t j = 0; j < 40; ++j) {
+      ASSERT_EQ(assign[j], 0u);
+      ASSERT_EQ(second[j], kInf) << "level " << simd::level_name(level) << " j=" << j;
+    }
   }
 }
 

@@ -145,21 +145,48 @@ TEST(ThreadPool, MinParallelGateForcesSingleChunk) {
   EXPECT_EQ(calls.load(), 1);
 }
 
-TEST(ThreadPool, ReduceSumMatchesSequentialExactlyAtOneThread) {
+TEST(ThreadPool, ReduceSumBitIdenticalAcrossThreadCounts) {
   GlobalPoolGuard guard;
-  ThreadPool::set_global_thread_count(1);
   Rng rng(101);
   std::vector<double> values(5000);
   for (auto& v : values) v = rng.uniform(-1.0, 1.0);
+  const auto run = [&] {
+    return parallel_reduce_sum(values.size(), [&](std::size_t begin, std::size_t end) {
+      double partial = 0.0;
+      for (std::size_t i = begin; i < end; ++i) partial += values[i];
+      return partial;
+    });
+  };
+  // The fixed chunk grid makes the summation tree a function of n alone:
+  // every thread count produces the same bits, not merely close values.
+  ThreadPool::set_global_thread_count(1);
+  const double at_one = run();
+  for (const std::size_t threads : {2u, 3u, 4u, 7u}) {
+    ThreadPool::set_global_thread_count(threads);
+    EXPECT_EQ(run(), at_one) << threads << " threads";  // byte-identical
+  }
   double sequential = 0.0;
   for (const double v : values) sequential += v;
-  const double reduced = parallel_reduce_sum(values.size(), [&](std::size_t begin,
-                                                                std::size_t end) {
-    double partial = 0.0;
-    for (std::size_t i = begin; i < end; ++i) partial += values[i];
-    return partial;
-  });
-  EXPECT_EQ(reduced, sequential);  // byte-identical, not approximately equal
+  EXPECT_NEAR(at_one, sequential, 1e-9 * (std::abs(sequential) + 1.0));
+}
+
+TEST(ThreadPool, ReduceSumBelowMinParallelIsExactlySequential) {
+  GlobalPoolGuard guard;
+  ThreadPool::set_global_thread_count(4);
+  Rng rng(303);
+  std::vector<double> values(100);
+  for (auto& v : values) v = rng.uniform(-1.0, 1.0);
+  double sequential = 0.0;
+  for (const double v : values) sequential += v;
+  const double reduced = parallel_reduce_sum(
+      values.size(),
+      [&](std::size_t begin, std::size_t end) {
+        double partial = 0.0;
+        for (std::size_t i = begin; i < end; ++i) partial += values[i];
+        return partial;
+      },
+      /*min_parallel=*/2048);
+  EXPECT_EQ(reduced, sequential);  // single body(0, n) call, bit-exact
 }
 
 TEST(ThreadPool, ReduceSumReproducibleAtFixedThreadCount) {

@@ -2,13 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <limits>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "cluster/summarizer.h"
 #include "common/random.h"
+#include "common/serialize.h"
 #include "core/replication_manager.h"
 #include "placement/strategy.h"
 
@@ -194,6 +199,73 @@ TEST(EpochPipeline, StrategyRegistryKnowsItsNames) {
   EXPECT_EQ(place::strategy_kind("offline"), place::strategy_kind("offline_kmeans"));
   EXPECT_EQ(place::strategy_kind("local-search"), place::strategy_kind("local_search"));
   EXPECT_THROW(place::make_strategy("simulated-annealing"), std::invalid_argument);
+}
+
+/// Serialized per-replica bytes after an adopt, keyed by node in map order —
+/// the byte-equality currency for the adopter equivalence pin.
+std::vector<std::pair<topo::NodeId, std::vector<std::uint8_t>>> serialized_summarizers(
+    const std::map<topo::NodeId, cluster::MicroClusterSummarizer>& summarizers) {
+  std::vector<std::pair<topo::NodeId, std::vector<std::uint8_t>>> out;
+  for (const auto& [node, summarizer] : summarizers) {
+    ByteWriter writer;
+    summarizer.serialize(writer);
+    out.emplace_back(node, writer.bytes());
+  }
+  return out;
+}
+
+// The kernelized NearestRedistributionAdopter is byte-identical to the frozen
+// scalar reference (the doc contract in epoch_pipeline.h): same summarizer
+// map keys, same serialized cluster bytes per replica, after both adopt()
+// (nearest-replica redistribution) and retain() (decay aging). Large enough
+// summary counts to cross the parallel-dispatch threshold, plus degenerate
+// shapes: empty summaries, a single replica, and coincident candidates.
+TEST(EpochPipeline, AdopterMatchesScalar) {
+  cluster::SummarizerConfig config;
+  config.max_clusters = 6;
+  config.min_absorb_radius = 10.0;
+
+  const auto run_case = [&](const std::vector<place::CandidateInfo>& candidates,
+                            const place::Placement& next, std::size_t n_summaries,
+                            std::uint64_t seed, const char* label) {
+    Rng rng(seed);
+    std::vector<cluster::MicroCluster> summaries;
+    for (std::size_t i = 0; i < n_summaries; ++i) {
+      cluster::MicroCluster micro;
+      const double center = rng.uniform(-50.0, 950.0);
+      const int accesses = 1 + static_cast<int>(rng.below(4));
+      for (int a = 0; a < accesses; ++a) {
+        micro.absorb(Point{rng.normal(center, 20.0)},
+                     1.0 + static_cast<double>(rng.below(3)));
+      }
+      summaries.push_back(micro);
+    }
+
+    NearestRedistributionAdopter fast;
+    ScalarNearestRedistributionAdopter scalar;
+    std::map<topo::NodeId, cluster::MicroClusterSummarizer> fast_map, scalar_map;
+    fast.adopt(next, summaries, candidates, config, fast_map);
+    scalar.adopt(next, summaries, candidates, config, scalar_map);
+    EXPECT_EQ(serialized_summarizers(fast_map), serialized_summarizers(scalar_map))
+        << label << ": adopt() diverged";
+
+    fast.retain(fast_map);
+    scalar.retain(scalar_map);
+    EXPECT_EQ(serialized_summarizers(fast_map), serialized_summarizers(scalar_map))
+        << label << ": retain() diverged";
+  };
+
+  const auto candidates = line_candidates();
+  run_case(candidates, {1, 4, 8}, 600, 0x5ca1, "parallel-scale");
+  run_case(candidates, {0, 9}, 12, 0xbee, "small");
+  run_case(candidates, {5}, 200, 0x1234, "single-replica");
+  run_case(candidates, {2, 6}, 0, 0x9, "no-summaries");
+
+  // Coincident candidate coordinates: the strict-< first-winner rule must
+  // resolve ties to the lower placement slot in both implementations.
+  auto coincident = line_candidates(6);
+  for (auto& c : coincident) c.coords = Point{250.0};
+  run_case(coincident, {3, 1, 5}, 150, 0x77, "coincident");
 }
 
 TEST(EpochPipeline, DirectCollectorFlattensInSourceOrder) {

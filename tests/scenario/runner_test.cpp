@@ -52,6 +52,33 @@ TEST(ScenarioRunner, RepeatedRunsAreIdentical) {
   EXPECT_EQ(run_scenario(config).jsonl(), run_scenario(config).jsonl());
 }
 
+TEST(ScenarioRunner, TimingsSidecarCoversEveryEpochAndStaysOutOfTranscript) {
+  const auto config = load_scenario_file(GEORED_SCENARIO_DIR "/mini_smoke.json");
+  const auto result = run_scenario(config);
+  const std::string timings = result.timings_jsonl();
+  // One json object per epoch, every stage key present, totals additive.
+  std::istringstream lines(timings);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find("\"epoch\":" + std::to_string(count)), std::string::npos) << line;
+    for (const char* key : {"\"t_ms\":", "\"ingest_flush_ms\":", "\"collect_ms\":",
+                            "\"propose_ms\":", "\"gate_ms\":", "\"adopt_ms\":",
+                            "\"total_ms\":"}) {
+      EXPECT_NE(line.find(key), std::string::npos) << line;
+    }
+    ++count;
+  }
+  EXPECT_EQ(count, result.epochs.size());
+  for (const auto& row : result.epochs) {
+    EXPECT_GE(row.stage_totals.ingest_flush_ms, 0.0);
+    EXPECT_GE(row.stage_totals.total_ms(), row.stage_totals.propose_ms);
+  }
+  // The sidecar must never leak into the deterministic transcript: the
+  // golden comparison above pins jsonl() bytes, and no stage key may appear.
+  EXPECT_EQ(result.jsonl().find("ingest_flush_ms"), std::string::npos);
+}
+
 TEST(ScenarioRunner, FlashCrowdSpikesAndRecovers) {
   std::ostringstream text;
   text << R"({"name": "spike", "seed": 4, "epochs": 6, "epoch_ms": 20000,)"

@@ -384,6 +384,10 @@ int cmd_scenario(const std::vector<std::string>& args) {
   parser.add_int("seed", -1, "override the scenario file's seed (-1 keeps it)");
   parser.add_string("out", "", "write runs/<name>.jsonl + tables/<name>.txt under this dir");
   parser.add_bool("print-jsonl", false, "dump the per-epoch jsonl to stdout");
+  parser.add_string("timings", "",
+                    "write the per-epoch stage-timing sidecar (jsonl) to this file; "
+                    "timings are observational and vary run to run, so they never "
+                    "appear in the deterministic transcript");
   const auto positional = parser.parse(args);
   if (parser.help_requested()) return handled_help(parser);
   if (positional.size() != 2 || positional[0] != "run") {
@@ -407,6 +411,15 @@ int cmd_scenario(const std::vector<std::string>& args) {
     const std::string jsonl_path =
         scenario::write_artifacts(config, result, parser.get_string("out"));
     std::printf("\nwrote %s\n", jsonl_path.c_str());
+  }
+  if (!parser.get_string("timings").empty()) {
+    std::ofstream timings(parser.get_string("timings"), std::ios::binary);
+    if (!timings.good()) {
+      std::fprintf(stderr, "cannot write %s\n", parser.get_string("timings").c_str());
+      return 1;
+    }
+    timings << result.timings_jsonl();
+    std::printf("wrote %s\n", parser.get_string("timings").c_str());
   }
   return 0;
 }
