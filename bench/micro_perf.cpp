@@ -32,6 +32,8 @@
 #include "placement/evaluate.h"
 #include "placement/greedy.h"
 #include "placement/local_search.h"
+#include "serve/request_router.h"
+#include "serve/router_scalar.h"
 #include "topology/topology.h"
 
 using namespace geored;
@@ -419,6 +421,88 @@ std::vector<CaseResult> run_scale(const Scale& scale, std::size_t repeats,
     });
     add_case("kernel_pairwise_min", ms_base, ms_opt, scalar_acc, fast_acc,
              scalar_acc == fast_acc);
+  }
+
+  // --- Request router: SIMD batch routing vs the frozen Point-loop router --
+  // Every client routes once through admission control at k replicas. The
+  // baseline is serve::ScalarRouter (the pre-SoA router, kept verbatim as
+  // the arbiter); the optimized arm is RequestRouter::route_batch over the
+  // same arrival stream. Both arms rebuild their router per repeat so queue
+  // state starts identical, and an untimed verification pass requires
+  // bit-identical decisions, counters, and histogram buckets.
+  if (want("serve_route")) {
+    serve::ServeConfig serve_config;
+    serve_config.service_ms = 0.05;
+    serve_config.queue_cap = 64;
+    std::vector<serve::ReplicaSpec> replicas;
+    for (std::size_t r = 0; r < scale.k; ++r) {
+      const auto& candidate = world.candidates[(r * 7) % scale.n_candidates];
+      replicas.push_back({candidate.node, candidate.coords});
+    }
+    const std::size_t n_requests = world.client_points.size();
+    std::vector<double> nows(n_requests);
+    for (std::size_t i = 0; i < n_requests; ++i) {
+      nows[i] = static_cast<double>(i) * 0.01;  // 100 requests per virtual ms
+    }
+    std::vector<serve::RouteDecision> decisions(n_requests);
+
+    bool match = true;
+    {
+      serve::ScalarRouter reference(serve_config);
+      reference.set_replicas(replicas);
+      serve::RequestRouter router(serve_config);
+      router.set_replicas(replicas);
+      router.route_batch(client_set, nullptr, n_requests, nows.data(), decisions.data());
+      for (std::size_t i = 0; i < n_requests; ++i) {
+        const auto want_decision = reference.route(world.client_points[i], nows[i]);
+        match = match && decisions[i].outcome == want_decision.outcome &&
+                (!decisions[i].admitted() ||
+                 (decisions[i].replica == want_decision.replica &&
+                  decisions[i].wait_ms == want_decision.wait_ms &&
+                  decisions[i].dist_sq == want_decision.dist_sq));
+        if (decisions[i].admitted()) {
+          match = match && router.complete(decisions[i], std::sqrt(decisions[i].dist_sq)) ==
+                               reference.complete(want_decision,
+                                                  std::sqrt(want_decision.dist_sq));
+        }
+      }
+      match = match && router.stats().admitted == reference.stats().admitted &&
+              router.stats().spilled == reference.stats().spilled &&
+              router.stats().rejected == reference.stats().rejected;
+      for (std::size_t b = 0; b < serve::LatencyHistogram::kBuckets; ++b) {
+        match = match &&
+                router.histogram().bucket_count(b) == reference.histogram().bucket_count(b);
+      }
+    }
+
+    ms_base = time_ms(repeats, [&] {
+      serve::ScalarRouter reference(serve_config);
+      reference.set_replicas(replicas);
+      for (std::size_t i = 0; i < n_requests; ++i) {
+        const auto decision = reference.route(world.client_points[i], nows[i]);
+        if (decision.admitted()) {
+          reference.complete(decision, std::sqrt(decision.dist_sq));
+        }
+      }
+      scalar_acc = static_cast<double>(reference.stats().admitted) +
+                   reference.histogram().quantile(0.999);
+      g_sink += scalar_acc;
+    });
+    ms_opt = time_ms(repeats, [&] {
+      serve::RequestRouter router(serve_config);
+      router.set_replicas(replicas);
+      router.route_batch(client_set, nullptr, n_requests, nows.data(), decisions.data());
+      for (std::size_t i = 0; i < n_requests; ++i) {
+        if (decisions[i].admitted()) {
+          router.complete(decisions[i], std::sqrt(decisions[i].dist_sq));
+        }
+      }
+      fast_acc = static_cast<double>(router.stats().admitted) +
+                 router.histogram().quantile(0.999);
+      g_sink += fast_acc;
+    });
+    add_case("serve_route", ms_base, ms_opt, scalar_acc, fast_acc,
+             match && scalar_acc == fast_acc);
   }
 
   // --- Lloyd's k-means (warm start, no seeding randomness) -----------------

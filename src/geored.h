@@ -4,7 +4,9 @@
 //
 // Pulls in the topology substrate, network coordinates, clustering,
 // placement strategies, the discrete-event simulator, workloads, the
-// ReplicationManager/ReplicationSystem core, and the replicated KV store.
+// ReplicationManager/ReplicationSystem core, the serving data plane
+// (request router + latency histogram), the scenario engine, and the
+// replicated KV store.
 // Individual headers remain the preferred include for library-internal use;
 // this exists for applications and quick experiments.
 #pragma once
@@ -43,6 +45,10 @@
 #include "placement/spread.h"
 #include "placement/strategy.h"
 #include "placement/write_aware.h"
+#include "scenario/config.h"
+#include "scenario/runner.h"
+#include "serve/latency_histogram.h"
+#include "serve/request_router.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "store/kvstore.h"

@@ -531,6 +531,24 @@ void read_rpc(const Json& json, const std::string& path, net::RpcCollectorConfig
   if (rpc.max_attempts < 1) bad_value(path + ".max_attempts", "need at least 1 attempt");
 }
 
+ServeSpec read_serve(const Json& json, const std::string& path) {
+  ObjectReader reader(json, path);
+  ServeSpec spec;
+  spec.enabled = true;
+  spec.service_ms = reader.number("service_ms", spec.service_ms);
+  spec.queue_cap = reader.size_value("queue_cap", spec.queue_cap);
+  spec.policy = reader.string("policy", spec.policy);
+  reader.finish();
+  if (!(spec.service_ms > 0.0)) {
+    bad_value(path + ".service_ms", "service time must be positive");
+  }
+  if (spec.queue_cap < 1) bad_value(path + ".queue_cap", "need at least 1 queue slot");
+  if (spec.policy != "spill" && spec.policy != "reject") {
+    bad_value(path + ".policy", "expected \"spill\" or \"reject\"");
+  }
+  return spec;
+}
+
 bool region_pattern_valid(const std::string& pattern) {
   if (pattern.empty()) return false;
   // "*" alone, a literal name, or a prefix followed by a single trailing '*'.
@@ -733,6 +751,9 @@ ScenarioConfig parse_scenario(const std::string& text) {
     read_rpc(*section, "rpc", config.rpc);
   }
   config.routing = reader.string("routing", config.routing);
+  if (const Json* section = reader.child("serve")) {
+    config.serve = read_serve(*section, "serve");
+  }
   config.initial_active_fraction =
       reader.number("initial_active_fraction", config.initial_active_fraction);
   if (const Json* section = reader.child("events")) {
@@ -759,6 +780,11 @@ ScenarioConfig parse_scenario(const std::string& text) {
   }
   if (config.routing != "coords" && config.routing != "true_rtt") {
     bad_value("routing", "expected \"coords\" or \"true_rtt\"");
+  }
+  if (config.serve.enabled && config.routing != "coords") {
+    bad_value("serve",
+              "the serving data plane selects replicas in coordinate space and "
+              "requires routing \"coords\"");
   }
   if (!(config.initial_active_fraction > 0.0) || config.initial_active_fraction > 1.0) {
     bad_value("initial_active_fraction", "fraction must lie in (0,1]");

@@ -87,6 +87,19 @@ struct FleetSpec {
   std::vector<double> weights;
 };
 
+/// Serving data plane in front of the placement machinery: when present,
+/// accesses route through a serve::RequestRouter (nearest up replica,
+/// bounded per-replica queues, admission control) and every epoch's jsonl
+/// row gains a "serve" record with p50/p99/p999 client-observed latency.
+/// Requires routing == "coords" — replica selection runs in coordinate
+/// space through the SoA nearest-of kernels.
+struct ServeSpec {
+  bool enabled = false;          ///< set when the scenario has a "serve" block
+  double service_ms = 0.05;      ///< per-request virtual service time
+  std::size_t queue_cap = 64;    ///< max resident requests per replica
+  std::string policy = "spill";  ///< "spill" | "reject" on a full queue
+};
+
 /// One scheduled event. Windowed kinds (flash_crowd, outage) carry
 /// [start_ms, end_ms); instant kinds (population, group_weight) fire at
 /// at_ms (an epoch boundary rounds them: in force for every epoch whose
@@ -145,6 +158,8 @@ struct ScenarioConfig {
   net::RpcCollectorConfig rpc;       ///< consulted when collector == "rpc"
 
   std::string routing = "coords";  ///< "coords" | "true_rtt"
+
+  ServeSpec serve;  ///< serving data plane; disabled unless a "serve" block exists
 
   /// Fraction of the client universe active at t=0 (first ceil(fraction*n)
   /// clients in node-id order); population events drift it from there.

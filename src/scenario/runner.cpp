@@ -14,6 +14,7 @@
 #include "net/clock.h"
 #include "netcoord/embedding.h"
 #include "scenario/table.h"
+#include "serve/request_router.h"
 #include "sim/simulator.h"
 #include "topology/planetlab_model.h"
 #include "workload/modulated.h"
@@ -126,7 +127,21 @@ std::string render_jsonl_line(const EpochRow& row) {
     out += ':';
     out += std::to_string(row.region_accesses[i].second);
   }
-  out += "}}";
+  out += '}';
+  // The serve record exists only for scenarios with a "serve" block, so
+  // serve-less transcripts (and their goldens) are byte-for-byte unchanged.
+  if (row.serve.enabled) {
+    out += ",\"serve\":{\"requests\":" + std::to_string(row.serve.requests);
+    out += ",\"admitted\":" + std::to_string(row.serve.admitted);
+    out += ",\"rejected\":" + std::to_string(row.serve.rejected);
+    out += ",\"spilled\":" + std::to_string(row.serve.spilled);
+    out += ",\"p50_ms\":" + format_double(row.serve.p50_ms);
+    out += ",\"p99_ms\":" + format_double(row.serve.p99_ms);
+    out += ",\"p999_ms\":" + format_double(row.serve.p999_ms);
+    out += ",\"mean_ms\":" + format_double(row.serve.mean_ms);
+    out += '}';
+  }
+  out += '}';
   return out;
 }
 
@@ -140,6 +155,7 @@ class Engine {
     compile_events();
     build_workload();
     build_fleet();
+    build_routers();
     region_accesses_.assign(topology_.region_names().size(), 0);
     region_delay_sum_.assign(topology_.region_names().size(), 0.0);
   }
@@ -289,6 +305,35 @@ class Engine {
     }
   }
 
+  /// One request router per object group: the serving data plane in front
+  /// of that group's placement. Built once, replica sets re-synced from the
+  /// adopted placements at every epoch boundary.
+  void build_routers() {
+    if (!config_.serve.enabled) return;
+    serve::ServeConfig serve_config;
+    serve_config.service_ms = config_.serve.service_ms;
+    serve_config.queue_cap = config_.serve.queue_cap;
+    serve_config.policy = config_.serve.policy == "reject"
+                              ? serve::ServeConfig::Policy::kReject
+                              : serve::ServeConfig::Policy::kSpill;
+    for (std::size_t g = 0; g < config_.fleet.groups; ++g) {
+      routers_.push_back(std::make_unique<serve::RequestRouter>(serve_config));
+    }
+    sync_routers();
+  }
+
+  /// Pushes every group's adopted placement into its router (queue state of
+  /// retained replicas carries over; see RequestRouter::set_replicas).
+  void sync_routers() {
+    for (std::size_t g = 0; g < routers_.size(); ++g) {
+      std::vector<serve::ReplicaSpec> replicas;
+      for (const auto node : fleet_->group(g).placement()) {
+        replicas.push_back({node, coords_[node].position});
+      }
+      routers_[g]->set_replicas(replicas);
+    }
+  }
+
   /// Instant events (population drift, weight churn) whose at_ms has been
   /// reached take effect at the epoch boundary, before arrivals sample.
   void apply_instants(double epoch_start_ms) {
@@ -369,6 +414,34 @@ class Engine {
     const std::set<topo::NodeId> down = down_at(at_ms);
     core::ReplicationManager& manager = fleet_->group(group);
 
+    if (config_.serve.enabled) {
+      // The serving data plane: admission-controlled routing to the nearest
+      // up replica, with client-observed latency (true RTT + queue wait +
+      // service time) accounted in the router's histogram. Rejected
+      // requests never reach the manager — a dropped request is demand the
+      // summarizer must not learn from.
+      serve::RequestRouter& router = *routers_[group];
+      router.set_down(down);
+      const serve::RouteDecision decision =
+          router.route(coords_[client_node].position, at_ms);
+      if (decision.outcome == serve::RouteDecision::Outcome::kLost) {
+        ++lost_accesses_;
+        return;
+      }
+      if (!decision.admitted()) return;
+      manager.record_access(decision.replica, coords_[client_node].position);
+      const double rtt = topology_.rtt_ms(client_node, decision.replica);
+      router.complete(decision, rtt);
+      ++accesses_;
+      delay_sum_ += rtt;
+      const auto region = topology_.node(client_node).region;
+      if (region < region_accesses_.size()) {
+        ++region_accesses_[region];
+        region_delay_sum_[region] += rtt;
+      }
+      return;
+    }
+
     std::optional<topo::NodeId> replica;
     if (config_.routing == "true_rtt") {
       double best = std::numeric_limits<double>::infinity();
@@ -440,6 +513,30 @@ class Engine {
     row.objective_ms =
         objective_accesses > 0.0 ? objective_weighted / objective_accesses : 0.0;
 
+    if (config_.serve.enabled) {
+      // Merge per-group histograms in ascending group order (deterministic)
+      // into the epoch histogram; merged quantiles equal a single-pass
+      // histogram over all groups' samples by construction.
+      serve::LatencyHistogram epoch_histogram;
+      row.serve.enabled = true;
+      for (const auto& router : routers_) {
+        const serve::RequestRouter::Stats& stats = router->stats();
+        row.serve.requests += stats.admitted + stats.rejected;
+        row.serve.admitted += stats.admitted;
+        row.serve.rejected += stats.rejected;
+        row.serve.spilled += stats.spilled;
+        epoch_histogram.merge(router->histogram());
+        router->reset_epoch();
+      }
+      row.serve.p50_ms = epoch_histogram.quantile(0.50);
+      row.serve.p99_ms = epoch_histogram.quantile(0.99);
+      row.serve.p999_ms = epoch_histogram.quantile(0.999);
+      row.serve.mean_ms = epoch_histogram.mean_ms();
+      // The placement round may have moved replicas: re-point the routers
+      // at the adopted placements before the next epoch's arrivals.
+      sync_routers();
+    }
+
     for (std::size_t r = 0; r < region_accesses_.size(); ++r) {
       if (region_accesses_[r] == 0) continue;
       const double mean =
@@ -476,6 +573,8 @@ class Engine {
 
   std::unique_ptr<wl::Workload> workload_;
   std::unique_ptr<core::FleetManager> fleet_;
+  /// Per-group serving data plane (empty when serve is disabled).
+  std::vector<std::unique_ptr<serve::RequestRouter>> routers_;
   std::vector<double> group_weights_;
   std::vector<bool> active_;
   Rng root_rng_;

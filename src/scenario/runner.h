@@ -24,6 +24,22 @@
 
 namespace geored::scenario {
 
+/// What the serving data plane measured over one epoch (present in the
+/// jsonl row only when the scenario has a "serve" block). Quantiles come
+/// from the byte-stable serve::LatencyHistogram, so every field is pinned
+/// by the golden transcripts.
+struct ServeEpochStats {
+  bool enabled = false;
+  std::uint64_t requests = 0;  ///< admitted + rejected (lost stays in lost_accesses)
+  std::uint64_t admitted = 0;  ///< served, including spilled
+  std::uint64_t rejected = 0;  ///< dropped by admission control
+  std::uint64_t spilled = 0;   ///< served by the second-nearest replica
+  double p50_ms = 0.0;         ///< client-observed latency quantiles:
+  double p99_ms = 0.0;         ///< RTT + queue wait + service time
+  double p999_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
 /// What one epoch measured and decided, the row behind one jsonl line.
 struct EpochRow {
   std::size_t epoch = 0;
@@ -44,6 +60,8 @@ struct EpochRow {
   /// region order, regions with traffic only).
   std::vector<std::pair<std::string, double>> region_delay_ms;
   std::vector<std::pair<std::string, std::uint64_t>> region_accesses;
+  /// Serving data plane counters and latency quantiles for the epoch.
+  ServeEpochStats serve;
   /// Wall time per pipeline stage, summed over the fleet's group epochs.
   /// Observational (varies run to run); rendered only by the optional
   /// timings sidecar, never by the deterministic jsonl()/table() outputs.

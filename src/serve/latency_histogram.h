@@ -1,0 +1,124 @@
+// Fixed-bucket log-scale latency histogram for the serving data plane.
+//
+// Tail quantiles (p99/p999) need the full latency distribution, but keeping
+// every sample would make per-epoch accounting O(requests) memory and the
+// jsonl output non-mergeable. This histogram is the HDR-style compromise:
+// a fixed array of quarter-octave buckets whose edges are the exactly
+// representable doubles
+//
+//   edge(i) = (1 + (i mod 4) / 4) * 2^(kMinExponent + i / 4)   [milliseconds]
+//
+// so bucket boundaries, bucket lookup (frexp, no log/pow), quantiles, and
+// merges involve no rounding at all — the histogram is byte-stable across
+// platforms and thread counts, which is what lets the scenario golden
+// transcripts pin p99 fields byte for byte. Quarter-octave buckets bound
+// the relative quantile error at 25% of the bucket floor, ample for
+// tail-latency reporting across the ~1 us .. ~35 min range covered here.
+//
+// Merging is bucketwise addition, so per-group (or per-shard) histograms
+// combine into an epoch histogram whose quantiles equal a single-pass
+// histogram over the concatenated samples — a property the router tests
+// assert exhaustively.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstddef>
+
+namespace geored::serve {
+
+class LatencyHistogram {
+ public:
+  /// Quarter-octave resolution: 4 sub-buckets per power of two.
+  static constexpr std::size_t kSubBuckets = 4;
+  /// Values below 2^kMinExponent ms (~0.98 us) land in the underflow bucket.
+  static constexpr int kMinExponent = -10;
+  /// Values at or above 2^kMaxExponent ms (~35 min) land in the overflow
+  /// bucket; a simulated latency that large is a modeling bug, not a tail.
+  static constexpr int kMaxExponent = 21;
+  /// Underflow + quarter-octaves + overflow.
+  static constexpr std::size_t kBuckets =
+      2 + static_cast<std::size_t>(kMaxExponent - kMinExponent) * kSubBuckets;
+
+  /// Bucket index of a latency value. Non-positive values (and NaN, which
+  /// fails every comparison) go to the underflow bucket.
+  static std::size_t bucket_index(double value_ms) {
+    if (!(value_ms > 0.0)) return 0;
+    // Overflow (including +inf, where frexp's exponent is unspecified)
+    // before frexp; the threshold is an exact power of two.
+    if (value_ms >= std::ldexp(1.0, kMaxExponent)) return kBuckets - 1;
+    int exponent = 0;
+    // frexp: value = m * 2^exponent with m in [0.5, 1) — exact, no rounding.
+    const double mantissa = std::frexp(value_ms, &exponent);
+    const int octave = exponent - 1;  // value = (2 * m) * 2^octave, 2m in [1, 2)
+    if (octave < kMinExponent) return 0;
+    if (octave >= kMaxExponent) return kBuckets - 1;
+    const auto sub = static_cast<std::size_t>((2.0 * mantissa - 1.0) *
+                                              static_cast<double>(kSubBuckets));
+    return 1 + static_cast<std::size_t>(octave - kMinExponent) * kSubBuckets + sub;
+  }
+
+  /// Inclusive lower edge of a bucket: 0 for underflow, the exact dyadic
+  /// edge otherwise. This is the value quantile() reports for the bucket.
+  static double bucket_floor(std::size_t bucket) {
+    if (bucket == 0) return 0.0;
+    if (bucket >= kBuckets - 1) return std::ldexp(1.0, kMaxExponent);
+    const std::size_t i = bucket - 1;
+    const int octave = kMinExponent + static_cast<int>(i / kSubBuckets);
+    const auto sub = static_cast<double>(i % kSubBuckets);
+    return std::ldexp(1.0 + sub / static_cast<double>(kSubBuckets), octave);
+  }
+
+  void record(double value_ms) {
+    ++counts_[bucket_index(value_ms)];
+    ++total_;
+    sum_ms_ += value_ms;
+  }
+
+  /// Bucketwise addition; quantiles of the merged histogram equal those of
+  /// a single histogram fed both sample streams.
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    total_ += other.total_;
+    sum_ms_ += other.sum_ms_;
+  }
+
+  void reset() {
+    counts_.fill(0);
+    total_ = 0;
+    sum_ms_ = 0.0;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket_count(std::size_t bucket) const { return counts_[bucket]; }
+
+  /// Exact arithmetic mean of the recorded values (not bucket-quantized;
+  /// summed in record order, so deterministic for a deterministic feed).
+  double mean_ms() const {
+    return total_ > 0 ? sum_ms_ / static_cast<double>(total_) : 0.0;
+  }
+
+  /// The floor of the bucket holding the sample of rank ceil(q * total)
+  /// (1-based, q in [0,1]); 0 when empty. Integer rank selection over exact
+  /// edges: byte-stable, and merge-invariant by construction.
+  double quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+    if (rank < 1) rank = 1;
+    if (rank > total_) rank = total_;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += counts_[b];
+      if (seen >= rank) return bucket_floor(b);
+    }
+    return bucket_floor(kBuckets - 1);
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  double sum_ms_ = 0.0;
+};
+
+}  // namespace geored::serve

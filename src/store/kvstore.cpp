@@ -137,6 +137,7 @@ void ReplicatedKvStore::put(topo::NodeId client, const Point& client_coords, Obj
                                     result.version = value.version;
                                     result.latency_ms = simulator_.now() - started_at;
                                     put_latency_.add(result.latency_ms);
+                                    put_latency_histogram_.record(result.latency_ms);
                                     ++writes_;
                                     done(result);
                                   });
@@ -186,6 +187,7 @@ void ReplicatedKvStore::get(topo::NodeId client, const Point& client_coords, Obj
                           result.latency_ms = simulator_.now() - started_at;
                           result.stale = best->version < committed_at_start;
                           get_latency_.add(result.latency_ms);
+                          get_latency_histogram_.record(result.latency_ms);
                           ++reads_;
                           if (result.stale) ++stale_reads_;
                           if (!result.value.exists()) ++not_found_reads_;

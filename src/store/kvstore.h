@@ -27,6 +27,7 @@
 
 #include "common/stats.h"
 #include "core/fleet_manager.h"
+#include "serve/latency_histogram.h"
 #include "core/replication_manager.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -97,6 +98,15 @@ class ReplicatedKvStore {
   // --- Observability ----------------------------------------------------
   const OnlineStats& get_latency() const { return get_latency_; }
   const OnlineStats& put_latency() const { return put_latency_; }
+  /// Full latency distributions for tail accounting: OnlineStats carries
+  /// mean/variance, the histograms carry p50/p99/p999 (byte-stable quantile
+  /// buckets, mergeable across stores — see serve/latency_histogram.h).
+  const serve::LatencyHistogram& get_latency_histogram() const {
+    return get_latency_histogram_;
+  }
+  const serve::LatencyHistogram& put_latency_histogram() const {
+    return put_latency_histogram_;
+  }
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
   std::uint64_t stale_reads() const { return stale_reads_; }
@@ -131,6 +141,8 @@ class ReplicatedKvStore {
 
   OnlineStats get_latency_;
   OnlineStats put_latency_;
+  serve::LatencyHistogram get_latency_histogram_;
+  serve::LatencyHistogram put_latency_histogram_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t stale_reads_ = 0;

@@ -160,4 +160,20 @@ double FlashCrowdWorkload::max_rate(std::size_t i) const {
   return base_->max_rate(i) * (affected_.at(i) ? boost_ : 1.0);
 }
 
+std::vector<Arrival> sample_fleet_arrivals(const Workload& workload, double t0, double t1,
+                                           const Rng& root) {
+  std::vector<Arrival> schedule;
+  const std::size_t clients = workload.client_count();
+  for (std::size_t c = 0; c < clients; ++c) {
+    Rng rng = root.fork(c);
+    for (const double at : workload.sample_arrival_times(c, t0, t1, rng)) {
+      schedule.push_back({c, at});
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(), [](const Arrival& a, const Arrival& b) {
+    return a.at_ms != b.at_ms ? a.at_ms < b.at_ms : a.client < b.client;
+  });
+  return schedule;
+}
+
 }  // namespace geored::wl

@@ -131,4 +131,19 @@ class FlashCrowdWorkload final : public Workload {
   double start_ms_, end_ms_, boost_;
 };
 
+/// One fleet-wide request arrival: which client, and when.
+struct Arrival {
+  std::size_t client = 0;
+  double at_ms = 0.0;
+};
+
+/// Samples every client's arrivals over [t0, t1) — one decorrelated fork of
+/// `root` per client, so each client's stream is independent of the others
+/// and of iteration order — and merges them into a single time-ordered
+/// schedule (ties break by client index). This is the request stream the
+/// serving data plane replays: the same per-client sampling the scenario
+/// engine performs, flattened for callers without a simulator.
+std::vector<Arrival> sample_fleet_arrivals(const Workload& workload, double t0, double t1,
+                                           const Rng& root);
+
 }  // namespace geored::wl

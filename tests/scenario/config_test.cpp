@@ -176,5 +176,44 @@ TEST(ScenarioConfig, OutageNeedsExactlyOneTarget) {
       ScenarioError::Kind::kBadValue, "events[0]");
 }
 
+TEST(ScenarioConfig, ServeBlockParsesAndDefaultsOff) {
+  EXPECT_FALSE(parse_scenario(kMinimal).serve.enabled);
+  const auto config = parse_scenario(
+      R"({"name": "t", "serve": {"service_ms": 2.0, "queue_cap": 4, "policy": "reject"}})");
+  EXPECT_TRUE(config.serve.enabled);
+  EXPECT_DOUBLE_EQ(config.serve.service_ms, 2.0);
+  EXPECT_EQ(config.serve.queue_cap, 4u);
+  EXPECT_EQ(config.serve.policy, "reject");
+  // An empty block enables serving with the defaults.
+  EXPECT_TRUE(parse_scenario(R"({"name": "t", "serve": {}})").serve.enabled);
+}
+
+TEST(ScenarioConfig, UnknownServeKeyIsRejectedWithPath) {
+  expect_error(R"({"name": "t", "serve": {"burst": 2}})",
+               ScenarioError::Kind::kUnknownKey, "serve.burst");
+}
+
+TEST(ScenarioConfig, NonPositiveServiceTimeIsBadValue) {
+  expect_error(R"({"name": "t", "serve": {"service_ms": 0}})",
+               ScenarioError::Kind::kBadValue, "serve.service_ms");
+}
+
+TEST(ScenarioConfig, ZeroQueueCapIsBadValue) {
+  expect_error(R"({"name": "t", "serve": {"queue_cap": 0}})",
+               ScenarioError::Kind::kBadValue, "serve.queue_cap");
+}
+
+TEST(ScenarioConfig, UnknownServePolicyIsBadValue) {
+  expect_error(R"({"name": "t", "serve": {"policy": "shed"}})",
+               ScenarioError::Kind::kBadValue, "serve.policy");
+}
+
+TEST(ScenarioConfig, ServeRequiresCoordsRouting) {
+  // The router selects replicas in coordinate space; true-RTT routing would
+  // disagree with it, so the combination is rejected up front.
+  expect_error(R"({"name": "t", "routing": "true_rtt", "serve": {}})",
+               ScenarioError::Kind::kBadValue, "serve");
+}
+
 }  // namespace
 }  // namespace geored::scenario

@@ -131,6 +131,39 @@ TEST(ScenarioRunner, PopulationDriftChangesActiveClients) {
   EXPECT_EQ(result.epochs[3].active_clients, 18u);
 }
 
+TEST(ScenarioRunner, ServeBlockEmitsConsistentCountersAndQuantiles) {
+  std::ostringstream text;
+  text << R"({"name": "serve", "seed": 4, "epochs": 3, "epoch_ms": 20000,)"
+       << kSmallWorld
+       << R"(, "serve": {"service_ms": 1.0, "queue_cap": 8, "policy": "spill"}})";
+  const auto result = run_scenario(parse_scenario(text.str()));
+  ASSERT_EQ(result.epochs.size(), 3u);
+  for (const auto& row : result.epochs) {
+    ASSERT_TRUE(row.serve.enabled);
+    // Requests decompose exactly; admitted requests are the recorded
+    // accesses (rejected ones never reach the manager).
+    EXPECT_EQ(row.serve.requests, row.serve.admitted + row.serve.rejected);
+    EXPECT_EQ(row.serve.admitted, row.accesses);
+    EXPECT_GE(row.serve.admitted, row.serve.spilled);
+    // Quantiles are monotone and the mean sits inside the range.
+    EXPECT_LE(row.serve.p50_ms, row.serve.p99_ms);
+    EXPECT_LE(row.serve.p99_ms, row.serve.p999_ms);
+    EXPECT_GT(row.serve.mean_ms, 0.0);
+  }
+  // The serve record shows up in the jsonl line with its fixed key order.
+  EXPECT_NE(result.jsonl_lines[0].find("\"serve\":{\"requests\":"), std::string::npos);
+}
+
+TEST(ScenarioRunner, ServelessScenarioEmitsNoServeRecord) {
+  std::ostringstream text;
+  text << R"({"name": "quiet", "seed": 4, "epochs": 1, "epoch_ms": 20000,)"
+       << kSmallWorld << "}";
+  const auto result = run_scenario(parse_scenario(text.str()));
+  EXPECT_FALSE(result.epochs[0].serve.enabled);
+  // Pre-serve transcripts stay byte-identical: no "serve" key at all.
+  EXPECT_EQ(result.jsonl_lines[0].find("\"serve\""), std::string::npos);
+}
+
 TEST(ScenarioRunner, UnmatchedRegionPatternThrowsBadReference) {
   std::ostringstream text;
   text << R"({"name": "bad", "seed": 4, "epochs": 4, "epoch_ms": 20000,)"

@@ -1,0 +1,108 @@
+// LatencyHistogram unit tests: exact bucket edges, rank-based quantiles,
+// and the merge property the per-group epoch accounting relies on.
+#include "serve/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+
+namespace geored::serve {
+namespace {
+
+TEST(LatencyHistogram, BucketEdgesAreExactAndOrdered) {
+  double previous = -1.0;
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    const double floor = LatencyHistogram::bucket_floor(b);
+    ASSERT_GT(floor, previous) << "bucket " << b;
+    previous = floor;
+    if (b == 0) {
+      EXPECT_EQ(floor, 0.0);
+      continue;
+    }
+    // Every edge is (1 + sub/4) * 2^octave — a dyadic rational, exactly
+    // representable; ldexp of it round-trips through frexp untouched.
+    int exponent = 0;
+    const double mantissa = std::frexp(floor, &exponent);
+    EXPECT_EQ(std::ldexp(mantissa, exponent), floor);
+    // The edge's own value must land in its bucket (half-open buckets).
+    if (b < LatencyHistogram::kBuckets - 1) {
+      EXPECT_EQ(LatencyHistogram::bucket_index(floor), b) << "edge " << floor;
+    }
+  }
+}
+
+TEST(LatencyHistogram, BucketIndexBracketsTheValue) {
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const double value = std::exp(rng.uniform(-8.0, 14.0));  // ~0.3 us .. ~20 min
+    const std::size_t bucket = LatencyHistogram::bucket_index(value);
+    ASSERT_LT(bucket, LatencyHistogram::kBuckets);
+    EXPECT_LE(LatencyHistogram::bucket_floor(bucket), value);
+    if (bucket + 1 < LatencyHistogram::kBuckets) {
+      EXPECT_LT(value, LatencyHistogram::bucket_floor(bucket + 1));
+    }
+  }
+}
+
+TEST(LatencyHistogram, DegenerateValuesGoToTheUnderflowBucket) {
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(-3.5), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(std::numeric_limits<double>::quiet_NaN()), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1e-12), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(std::numeric_limits<double>::infinity()),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, QuantileUsesCeilRankSemantics) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.quantile(0.5), 0.0);  // empty
+  histogram.record(1.0);
+  histogram.record(2.0);
+  histogram.record(100.0);
+  histogram.record(200.0);
+  // rank(0.5) = ceil(0.5 * 4) = 2 -> the 2.0 sample's bucket floor.
+  EXPECT_EQ(histogram.quantile(0.5), 2.0);
+  // rank(0.51) = 3 -> the 100.0 sample's bucket (floor 96).
+  EXPECT_EQ(histogram.quantile(0.51), LatencyHistogram::bucket_floor(
+                                          LatencyHistogram::bucket_index(100.0)));
+  EXPECT_EQ(histogram.quantile(0.0), 1.0);  // rank clamps to 1
+  EXPECT_EQ(histogram.quantile(1.0), LatencyHistogram::bucket_floor(
+                                         LatencyHistogram::bucket_index(200.0)));
+  EXPECT_DOUBLE_EQ(histogram.mean_ms(), (1.0 + 2.0 + 100.0 + 200.0) / 4.0);
+}
+
+TEST(LatencyHistogram, MergeEqualsSinglePass) {
+  Rng rng(11);
+  LatencyHistogram left;
+  LatencyHistogram right;
+  LatencyHistogram single;
+  for (int i = 0; i < 5000; ++i) {
+    const double value = std::exp(rng.uniform(-2.0, 8.0));
+    (i % 3 == 0 ? left : right).record(value);
+    single.record(value);
+  }
+  LatencyHistogram merged = left;
+  merged.merge(right);
+  ASSERT_EQ(merged.total(), single.total());
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    ASSERT_EQ(merged.bucket_count(b), single.bucket_count(b)) << "bucket " << b;
+  }
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.quantile(q), single.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, ResetClearsEverything) {
+  LatencyHistogram histogram;
+  histogram.record(5.0);
+  histogram.reset();
+  EXPECT_EQ(histogram.total(), 0u);
+  EXPECT_EQ(histogram.quantile(0.99), 0.0);
+  EXPECT_EQ(histogram.mean_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace geored::serve

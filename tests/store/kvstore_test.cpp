@@ -99,6 +99,12 @@ TEST(KvStore, PutThenGetRoundTrip) {
   EXPECT_EQ(store.reads(), 1u);
   EXPECT_EQ(store.writes(), 1u);
   EXPECT_EQ(store.stale_reads(), 0u);
+  // Every completed operation lands in the tail-latency histograms, in the
+  // bucket of its measured latency.
+  EXPECT_EQ(store.put_latency_histogram().total(), 1u);
+  EXPECT_EQ(store.get_latency_histogram().total(), 1u);
+  EXPECT_DOUBLE_EQ(store.put_latency_histogram().mean_ms(), put_result->latency_ms);
+  EXPECT_LE(store.get_latency_histogram().quantile(0.99), get_result->latency_ms);
 }
 
 TEST(KvStore, MissingKeyIsNotFound) {

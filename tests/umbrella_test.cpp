@@ -29,6 +29,45 @@ TEST(Umbrella, EndToEndThroughThePublicApi) {
   const auto report = manager.run_epoch();
   EXPECT_EQ(report.epoch_accesses, 50u);
   EXPECT_EQ(manager.placement().size(), 2u);
+
+  // The serving data plane is reachable through the umbrella too: route the
+  // same clients at the adopted placement and observe tail latency.
+  serve::ServeConfig serve_config;
+  serve_config.service_ms = 1.0;
+  serve_config.queue_cap = 8;
+  serve::RequestRouter router(serve_config);
+  std::vector<serve::ReplicaSpec> replicas;
+  for (const auto node : manager.placement()) {
+    replicas.push_back({node, coords[node].position});
+  }
+  router.set_replicas(replicas);
+  double now = 0.0;
+  for (topo::NodeId client = 10; client < 60; ++client) {
+    const auto decision = router.route(coords[client].position, now);
+    ASSERT_TRUE(decision.admitted());
+    router.complete(decision, topology.rtt_ms(client, decision.replica));
+    now += 1.0;
+  }
+  EXPECT_EQ(router.stats().admitted, 50u);
+  EXPECT_EQ(router.histogram().total(), 50u);
+  EXPECT_GE(router.histogram().quantile(0.99), router.histogram().quantile(0.50));
+}
+
+TEST(Umbrella, ScenarioEngineThroughThePublicApi) {
+  using namespace geored;
+  scenario::ScenarioConfig config = scenario::parse_scenario(R"({
+    "name": "umbrella",
+    "epochs": 1,
+    "epoch_ms": 2000,
+    "topology": {"nodes": 30, "dcs": 4, "seed": 2},
+    "coords": {"rounds": 32},
+    "serve": {"service_ms": 1.0, "queue_cap": 8, "policy": "spill"}
+  })");
+  const scenario::ScenarioResult result = scenario::run_scenario(config);
+  ASSERT_EQ(result.epochs.size(), 1u);
+  EXPECT_TRUE(result.epochs[0].serve.enabled);
+  EXPECT_EQ(result.epochs[0].serve.admitted + result.epochs[0].serve.rejected,
+            result.epochs[0].serve.requests);
 }
 
 }  // namespace

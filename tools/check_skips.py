@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fail CI on silent test skips.
+
+A skipped test is acceptable only when its output states *why* it was
+skipped — a `GTEST_SKIP() << "reason"` message or a harness line starting
+with `SKIP:`. A skip with no reason is indistinguishable from coverage
+quietly rotting, so this checker turns it into a hard failure.
+
+Usage:
+    check_skips.py --ctest-output FILE --log Testing/Temporary/LastTest.log
+
+`--ctest-output` is the captured stdout of the ctest run (the "did not
+run:" summary names the skipped tests — SKIP_RETURN_CODE skips are logged
+as plain passes in LastTest.log, so the summary is the authoritative list).
+`--log` is CTest's LastTest.log, which holds each test's full output.
+
+Exit status: 0 when every skip carries a visible reason (the skips and
+their reasons are printed for the CI log), 1 when any skip is silent.
+"""
+
+import argparse
+import re
+import sys
+
+# "  11 - Dcheck.MessageMatchesCheckFormatWhenEnabled (Skipped)"
+SKIPPED_LINE = re.compile(r"^\s*\d+\s+-\s+(?P<name>\S.*?)\s+\(Skipped\)\s*$")
+# LastTest.log section header: "11/810 Testing: Dcheck.MessageMatches..."
+SECTION_HEADER = re.compile(r"^\d+/\d+ Testing: (?P<name>\S.*?)\s*$", re.MULTILINE)
+# A harness-level visible reason ("SKIP: <why>").
+HARNESS_REASON = re.compile(r"^SKIP[: ]\s*(?P<why>\S.*)$", re.MULTILINE)
+# A gtest-level visible reason: "path/to/test.cpp:100: Skipped\n<why>".
+GTEST_REASON = re.compile(r"^\S+:\d+: Skipped\r?\n(?P<why>\S.*)$", re.MULTILINE)
+
+
+def skipped_test_names(ctest_output: str) -> list:
+    names = []
+    for line in ctest_output.splitlines():
+        found = SKIPPED_LINE.match(line)
+        if found:
+            names.append(found.group("name"))
+    return names
+
+
+def split_sections(log_text: str) -> dict:
+    """Maps test name -> that test's chunk of LastTest.log."""
+    sections = {}
+    headers = list(SECTION_HEADER.finditer(log_text))
+    for i, header in enumerate(headers):
+        end = headers[i + 1].start() if i + 1 < len(headers) else len(log_text)
+        sections[header.group("name")] = log_text[header.start():end]
+    return sections
+
+
+def skip_reason(section: str):
+    for pattern in (HARNESS_REASON, GTEST_REASON):
+        found = pattern.search(section)
+        if found:
+            return found.group("why").strip()
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ctest-output", required=True,
+                        help="captured stdout of the ctest run")
+    parser.add_argument("--log", required=True,
+                        help="CTest's Testing/Temporary/LastTest.log")
+    args = parser.parse_args()
+
+    with open(args.ctest_output, encoding="utf-8", errors="replace") as f:
+        skipped = skipped_test_names(f.read())
+    if not skipped:
+        print("check_skips: no skipped tests")
+        return 0
+
+    with open(args.log, encoding="utf-8", errors="replace") as f:
+        sections = split_sections(f.read())
+
+    silent = []
+    for name in skipped:
+        section = sections.get(name)
+        reason = skip_reason(section) if section is not None else None
+        if reason is None:
+            silent.append(name)
+        else:
+            print(f"check_skips: SKIPPED {name}: {reason}")
+
+    if silent:
+        print(f"\ncheck_skips: {len(silent)} silent skip(s) — every skipped test "
+              "must state its reason (GTEST_SKIP() << \"why\" or an echoed "
+              "'SKIP: why'):", file=sys.stderr)
+        for name in silent:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"check_skips: all {len(skipped)} skip(s) carry a visible reason")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@
 //   geored stability   coordinate drift per round, Vivaldi vs RNP
 //   geored verify      quick self-check of the paper's core results
 //   geored scenario    run a declarative scenario file (scenarios/*.json)
+//   geored serve       replay a workload through the serving data plane
 //
 // Every subcommand accepts --help. All randomness is seeded; identical
 // invocations produce identical output.
@@ -18,7 +19,11 @@
 #include <sstream>
 
 #include "common/flags.h"
+#include "common/point_set.h"
+#include "common/serialize.h"
 #include "common/significance.h"
+#include "serve/request_router.h"
+#include "workload/workload.h"
 #include "core/evaluation.h"
 #include "netcoord/stability.h"
 #include "placement/strategy.h"
@@ -424,6 +429,146 @@ int cmd_scenario(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_serve(const std::vector<std::string>& args) {
+  FlagParser parser("geored serve",
+                    "replay a seeded workload through the serving data plane: route "
+                    "every request to its nearest up replica with admission control "
+                    "and report client-observed p50/p99/p999 latency. With "
+                    "--checkpoint, serving runs against the placement restored from a "
+                    "manager checkpoint (the world flags must match the run that "
+                    "wrote it); otherwise a warmup epoch derives the placement from "
+                    "the same workload.");
+  add_topology_flags(parser);
+  parser.add_int("dcs", 15, "candidate data centers (first nodes of the topology)");
+  parser.add_int("k", 3, "degree of replication");
+  parser.add_int("m", 4, "micro-clusters per replica");
+  parser.add_double("duration-s", 60.0, "workload duration, seconds");
+  parser.add_double("mean-rate", 0.0005, "per-client accesses per millisecond");
+  parser.add_double("sigma", 0.2, "lognormal rate spread across clients");
+  parser.add_int("seed", 1, "workload / embedding seed");
+  parser.add_double("service-ms", 0.05, "virtual service time per request");
+  parser.add_int("queue-cap", 64, "max resident requests per replica");
+  parser.add_string("policy", "spill", "full-queue policy: spill|reject");
+  parser.add_string("checkpoint", "", "restore the manager from this checkpoint file");
+  parser.add_string("checkpoint-out", "",
+                    "write the manager checkpoint after warmup to this file");
+  parser.parse(args);
+  if (parser.help_requested()) return handled_help(parser);
+
+  const auto topology = topology_from_flags(parser);
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  const auto coords =
+      coord::run_rnp(topology, coord::RnpConfig{}, coord::GossipConfig{}, seed);
+
+  const auto dcs = static_cast<std::size_t>(parser.get_int("dcs"));
+  if (dcs >= topology.size()) throw std::invalid_argument("--dcs must leave client nodes");
+  std::vector<place::CandidateInfo> candidates;
+  for (std::size_t i = 0; i < dcs; ++i) {
+    candidates.push_back({static_cast<topo::NodeId>(i), coords[i].position,
+                          std::numeric_limits<double>::infinity()});
+  }
+
+  core::ManagerConfig manager_config;
+  manager_config.replication_degree = static_cast<std::size_t>(parser.get_int("k"));
+  manager_config.summarizer.max_clusters = static_cast<std::size_t>(parser.get_int("m"));
+  core::ReplicationManager manager(candidates, manager_config, seed);
+
+  const std::size_t clients = topology.size() - dcs;
+  const double duration_ms = parser.get_double("duration-s") * 1000.0;
+  const auto workload = wl::make_uniform_workload(clients, parser.get_double("mean-rate"),
+                                                  parser.get_double("sigma"), seed);
+  const Rng root(seed);
+
+  if (!parser.get_string("checkpoint").empty()) {
+    std::ifstream file(parser.get_string("checkpoint"), std::ios::binary);
+    if (!file) {
+      throw std::invalid_argument("cannot open " + parser.get_string("checkpoint"));
+    }
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                                    std::istreambuf_iterator<char>());
+    ByteReader reader(bytes);
+    manager.restore(reader);
+    std::printf("restored checkpoint %s (placement degree %zu)\n",
+                parser.get_string("checkpoint").c_str(), manager.placement().size());
+  } else {
+    // Warmup: one placement epoch over the same demand the replay serves,
+    // so the placement reflects the workload it is about to face.
+    const auto warmup = wl::sample_fleet_arrivals(*workload, 0.0, duration_ms, root.fork(0));
+    for (const auto& arrival : warmup) {
+      manager.serve(coords[dcs + arrival.client].position);
+    }
+    manager.run_epoch();
+    std::printf("warmup epoch: %zu accesses, placement degree %zu\n", warmup.size(),
+                manager.placement().size());
+  }
+  if (!parser.get_string("checkpoint-out").empty()) {
+    ByteWriter writer;
+    manager.save(writer);
+    std::ofstream file(parser.get_string("checkpoint-out"), std::ios::binary);
+    if (!file) {
+      throw std::invalid_argument("cannot write " + parser.get_string("checkpoint-out"));
+    }
+    file.write(reinterpret_cast<const char*>(writer.bytes().data()),
+               static_cast<std::streamsize>(writer.bytes().size()));
+    std::printf("wrote checkpoint %s (%zu bytes)\n",
+                parser.get_string("checkpoint-out").c_str(), writer.bytes().size());
+  }
+
+  serve::ServeConfig serve_config;
+  serve_config.service_ms = parser.get_double("service-ms");
+  serve_config.queue_cap = static_cast<std::size_t>(parser.get_int("queue-cap"));
+  if (parser.get_string("policy") == "reject") {
+    serve_config.policy = serve::ServeConfig::Policy::kReject;
+  } else if (parser.get_string("policy") != "spill") {
+    throw std::invalid_argument("unknown policy: " + parser.get_string("policy") +
+                                " (expected spill|reject)");
+  }
+  serve::RequestRouter router(serve_config);
+  std::vector<serve::ReplicaSpec> replicas;
+  for (const auto node : manager.placement()) {
+    replicas.push_back({node, coords[node].position});
+  }
+  router.set_replicas(replicas);
+
+  // The replay itself: one batched route over the merged arrival schedule
+  // (the SIMD nearest-up scan plus the sequential admission pass), then the
+  // per-request completion with the true topology RTT.
+  const auto arrivals = wl::sample_fleet_arrivals(*workload, 0.0, duration_ms, root.fork(1));
+  PointSet client_points;
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_points.push_back(coords[dcs + c].position);
+  }
+  std::vector<std::size_t> indices;
+  std::vector<double> nows;
+  for (const auto& arrival : arrivals) {
+    indices.push_back(arrival.client);
+    nows.push_back(arrival.at_ms);
+  }
+  std::vector<serve::RouteDecision> decisions(arrivals.size());
+  router.route_batch(client_points, indices.data(), arrivals.size(), nows.data(),
+                     decisions.data());
+  for (std::size_t j = 0; j < arrivals.size(); ++j) {
+    if (!decisions[j].admitted()) continue;
+    const auto client_node = static_cast<topo::NodeId>(dcs + arrivals[j].client);
+    router.complete(decisions[j], topology.rtt_ms(client_node, decisions[j].replica));
+  }
+
+  const auto& stats = router.stats();
+  const auto& histogram = router.histogram();
+  std::printf("served %llu requests over %.1f s (%zu clients, %zu up replicas)\n",
+              static_cast<unsigned long long>(stats.requests),
+              duration_ms / 1000.0, clients, router.up_count());
+  std::printf("admitted %llu (%llu spilled), rejected %llu, lost %llu\n",
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.spilled),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.lost));
+  std::printf("latency: p50 %.3f ms, p99 %.3f ms, p999 %.3f ms, mean %.3f ms\n",
+              histogram.quantile(0.50), histogram.quantile(0.99),
+              histogram.quantile(0.999), histogram.mean_ms());
+  return 0;
+}
+
 void print_usage() {
   std::puts(
       "geored — geo-replication toolkit\n"
@@ -437,7 +582,8 @@ void print_usage() {
       "  replay      replay a trace through the replicated KV store\n"
       "  stability   coordinate drift per round: Vivaldi vs RNP\n"
       "  verify      quick self-check of the paper's core results\n"
-      "  scenario    run a declarative scenario file (scenario run <file>)");
+      "  scenario    run a declarative scenario file (scenario run <file>)\n"
+      "  serve       replay a workload through the serving data plane");
 }
 
 }  // namespace
@@ -459,6 +605,7 @@ int main(int argc, char** argv) {
     if (command == "verify") return cmd_verify(args);
     if (command == "stability") return cmd_stability(args);
     if (command == "scenario") return cmd_scenario(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "--help" || command == "help") {
       print_usage();
       return 0;

@@ -129,6 +129,8 @@ HOT_ALLOC_FILES = (
     "src/placement/evaluate.cpp",
     "src/core/epoch_pipeline.cpp",
     "src/core/epoch_trace.h",
+    "src/serve/request_router.cpp",
+    "src/serve/latency_histogram.h",
 )
 
 SUPPRESSIONS = {
